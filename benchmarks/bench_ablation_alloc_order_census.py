@@ -1,0 +1,32 @@
+"""Ablation (DESIGN.md) — huge-page census per data structure under
+pressure: the measured version of the paper's Fig. 6 narrative.
+
+With the natural order the CSR arrays consume the scarce huge regions
+and the property array is left on base pages; property-first flips the
+outcome.
+"""
+
+from repro.experiments import figures
+
+
+def test_ablation_alloc_order_census(benchmark, runner, datasets, report):
+    result = benchmark.pedantic(
+        figures.ablation_alloc_order_census,
+        args=(runner,),
+        kwargs={"datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    for dataset in datasets:
+        rows = {
+            row["policy"]: row
+            for row in result.rows
+            if row["dataset"] == dataset
+        }
+        assert (
+            rows["thp"]["property_array"]
+            < rows["thp-opt"]["property_array"]
+        ), dataset
+        assert rows["thp-opt"]["property_array"] > 0.9, dataset
+    benchmark.extra_info["datasets"] = len(datasets)

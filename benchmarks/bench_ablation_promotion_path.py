@@ -1,0 +1,33 @@
+"""Ablation (DESIGN.md) — THP allocation-path variants on a node whose
+free memory is littered with movable pages: fault-time allocation with
+direct compaction (Linux `defrag=always`), khugepaged-only promotion
+(`enabled` without fault allocation), and a fault path with neither
+compaction nor the daemon (`defrag=never`-ish).
+
+Compaction — in the fault path or via khugepaged — is what turns
+movable-littered regions back into huge pages; without it the property
+array is stuck on 4KB pages despite plenty of nominally free memory.
+"""
+
+from repro.experiments import figures
+
+
+def test_ablation_promotion_path(benchmark, runner, datasets, report):
+    result = benchmark.pedantic(
+        figures.ablation_promotion_path,
+        args=(runner,),
+        kwargs={"datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        # Direct compaction and khugepaged both rescue the property
+        # array; the compaction-less path cannot.
+        assert row["fault+compact_prop_huge"] > 0.9, row
+        assert row["khugepaged-only_prop_huge"] > 0.9, row
+        assert row["no-compact_prop_huge"] < row[
+            "fault+compact_prop_huge"
+        ], row
+        assert row["fault+compact"] >= row["no-compact"] - 0.02, row
+    benchmark.extra_info["rows"] = len(result.rows)

@@ -1,0 +1,34 @@
+"""§5.1.2 — DBG preprocessing overhead.
+
+Paper: DBG costs up to 2.36% of kernel time for SSSP/PR (avg 1.32%) and
+up to 16.5% for the much shorter-running BFS (avg 13%).
+"""
+
+from repro.experiments import figures
+
+
+def test_dbg_overhead(benchmark, runner, workloads, datasets, report):
+    result = benchmark.pedantic(
+        figures.dbg_overhead,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    by_workload: dict[str, list[float]] = {}
+    for row in result.rows:
+        by_workload.setdefault(row["workload"], []).append(
+            row["preprocess_fraction"]
+        )
+    for name, values in by_workload.items():
+        benchmark.extra_info[f"avg_{name}"] = round(
+            sum(values) / len(values), 4
+        )
+    # Long-running kernels amortize DBG to a few percent.
+    for name in ("sssp", "pagerank"):
+        if name in by_workload:
+            assert max(by_workload[name]) < 0.10, name
+    # BFS is short: overhead is noticeable but bounded.
+    if "bfs" in by_workload:
+        assert max(by_workload["bfs"]) < 0.30

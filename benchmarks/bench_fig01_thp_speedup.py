@@ -1,0 +1,27 @@
+"""Fig. 1 — THP speedup over 4KB pages: fresh boot vs realistic
+memory pressure, for every application/dataset cell.
+
+Paper: THP achieves significant gains on a fresh machine but provides
+little benefit over 4KB pages under realistic pressure.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import geomean
+
+
+def test_fig01_thp_speedup(benchmark, runner, workloads, datasets, report):
+    result = benchmark.pedantic(
+        figures.fig01_thp_speedup,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    fresh = [row["thp_fresh_speedup"] for row in result.rows]
+    pressured = [row["thp_pressured_speedup"] for row in result.rows]
+    benchmark.extra_info["geomean_fresh"] = round(geomean(fresh), 3)
+    benchmark.extra_info["geomean_pressured"] = round(geomean(pressured), 3)
+    # Paper shape: fresh THP clearly wins; pressured THP nearly doesn't.
+    assert geomean(fresh) > 1.15
+    assert geomean(pressured) - 1.0 < 0.4 * (geomean(fresh) - 1.0)

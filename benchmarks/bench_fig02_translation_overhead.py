@@ -1,0 +1,24 @@
+"""Fig. 2 — address translation share of the 4KB baseline's runtime.
+
+Paper: graph workloads spend a significant fraction of execution on
+address translation when only base pages are used.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig02_translation_overhead(
+    benchmark, runner, workloads, datasets, report
+):
+    result = benchmark.pedantic(
+        figures.fig02_translation_overhead,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    fractions = [row["translation_fraction"] for row in result.rows]
+    benchmark.extra_info["max_fraction"] = round(max(fractions), 3)
+    # Translation is a first-order cost for at least the skewed inputs.
+    assert max(fractions) > 0.15

@@ -1,0 +1,38 @@
+"""Fig. 3 — DTLB miss rates and page-walk rates, 4KB vs THP.
+
+Paper bands (Haswell, billion-edge graphs): 12.6-47.6% DTLB miss at 4KB
+(avg 26.3%), 4-26.7% with THP (avg 11.5%); most 4KB DTLB misses also
+miss the STLB and walk.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig03_tlb_miss_rates(benchmark, runner, workloads, datasets, report):
+    result = benchmark.pedantic(
+        figures.fig03_tlb_miss_rates,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    miss_4k = [row["dtlb_miss_4k"] for row in result.rows]
+    miss_thp = [row["dtlb_miss_thp"] for row in result.rows]
+    benchmark.extra_info["avg_dtlb_4k"] = round(sum(miss_4k) / len(miss_4k), 3)
+    benchmark.extra_info["avg_dtlb_thp"] = round(
+        sum(miss_thp) / len(miss_thp), 3
+    )
+    # Paper shape: page walks essentially disappear with THP, and the
+    # DTLB miss rate drops.  The "under half" claim is a cross-dataset
+    # average (kron's 32 huge property pages still thrash the 8-entry
+    # huge L1, exactly as large graphs thrash the paper's 32-entry one),
+    # so the strict bound only applies to the full dataset grid.
+    assert all(row["walk_rate_thp"] < 0.05 for row in result.rows)
+    assert sum(miss_thp) < sum(miss_4k)
+    if len(result.rows) >= 4:
+        # Paper: avg THP miss rate is ~44% of the 4KB rate.  The scaled
+        # huge L1 (8 entries vs the paper's 32) keeps relatively more
+        # DTLB misses alive here — harmlessly, since the STLB absorbs
+        # them (walk_rate_thp ~ 0 above) — so the bound is looser.
+        assert sum(miss_thp) < 0.7 * sum(miss_4k)

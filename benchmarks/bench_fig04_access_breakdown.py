@@ -1,0 +1,30 @@
+"""Fig. 4 — per-data-structure access and page-walk shares.
+
+Paper: memory accesses occur most frequently to the edge and property
+arrays, but the edge array is sequential while the property array is
+pointer-indirect — the property array dominates TLB misses.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig04_access_breakdown(
+    benchmark, runner, workloads, datasets, report
+):
+    result = benchmark.pedantic(
+        figures.fig04_access_breakdown,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    prop_rows = [r for r in result.rows if r["array"] == "property_array"]
+    edge_rows = [r for r in result.rows if r["array"] == "edge_array"]
+    avg_prop_walk = sum(r["walk_share"] for r in prop_rows) / len(prop_rows)
+    benchmark.extra_info["avg_property_walk_share"] = round(avg_prop_walk, 3)
+    # Property array dominates walks despite comparable access share.
+    assert avg_prop_walk > 0.6
+    assert all(
+        e["access_share"] > 0.2 for e in edge_rows
+    ), "edge array must be heavily accessed"

@@ -1,0 +1,40 @@
+"""§4.3.1 — memory-pressure sweep: 7 free-memory levels beyond the WSS
+plus oversubscription by 0.5GB-equivalent.
+
+Paper: >=2.5GB of slack is needed for unbounded THP gains; gains drop
+~30% on average in the 0-2GB range; oversubscription slows both 4KB and
+THP runs by an order of magnitude (24.6x / 23.6x).
+"""
+
+from repro.experiments import figures
+
+LEVELS = (-0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def test_fig07b_pressure_sweep(benchmark, runner, datasets, report):
+    result = benchmark.pedantic(
+        figures.fig07b_pressure_sweep,
+        args=(runner,),
+        kwargs={"datasets": datasets, "levels": LEVELS},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    for dataset in datasets:
+        series = {
+            row["free_gb"]: row
+            for row in result.rows
+            if row["dataset"] == dataset
+        }
+        # Oversubscription collapses everything by ~an order of magnitude.
+        assert series[-0.5]["base4k"] < 0.2, dataset
+        assert series[-0.5]["thp_natural"] < 0.2, dataset
+        # THP gains are restored by +3GB and monotonically non-silly.
+        assert series[3.0]["thp_natural"] > series[0.5]["thp_natural"]
+        # Property-first is robust from +1GB already.
+        assert (
+            series[1.0]["thp_property_first"]
+            > 0.9 * series[3.0]["thp_property_first"]
+        )
+    slowdown = 1.0 / min(r["base4k"] for r in result.rows)
+    benchmark.extra_info["max_oversub_slowdown"] = round(slowdown, 1)

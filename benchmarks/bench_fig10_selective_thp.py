@@ -1,0 +1,34 @@
+"""Fig. 10 — DBG preprocessing combined with selective THP usage under
+low pressure (+3GB) and 50% fragmentation.
+
+Paper: selective THPs at s=100% outperform DBG alone and system-wide
+THPs for all configurations; s=50% outperforms them for most.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig10_selective_thp(benchmark, runner, workloads, datasets, report):
+    result = benchmark.pedantic(
+        figures.fig10_selective_thp,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    wins_100 = 0
+    wins_50 = 0
+    for row in result.rows:
+        competitor = max(row["dbg_4k"], row["thp"])
+        # "wins" with a small tolerance: on the shortest-running BFS
+        # cells the DBG preprocessing charge makes ties possible.
+        if row["selective_100_dbg"] >= competitor - 0.02:
+            wins_100 += 1
+        if row["selective_50_dbg"] >= competitor - 0.02:
+            wins_50 += 1
+    benchmark.extra_info["s100_wins"] = f"{wins_100}/{len(result.rows)}"
+    benchmark.extra_info["s50_wins"] = f"{wins_50}/{len(result.rows)}"
+    # Paper: s=100% wins everywhere; s=50% wins for most configurations.
+    assert wins_100 == len(result.rows)
+    assert wins_50 >= len(result.rows) * 2 // 3

@@ -1,0 +1,51 @@
+"""Fig. 11 — sensitivity to the THP selectivity level: s = 0-100% of the
+property array backed by huge pages, original versus DBG vertex order.
+
+Paper: with DBG (or natural community structure) the gains saturate at
+small s because the hot data occupies the array prefix; without
+preprocessing (Kronecker's shuffled ids) gains grow roughly linearly
+with s.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_selectivity_sweep(benchmark, runner, datasets, report):
+    result = benchmark.pedantic(
+        figures.fig11_selectivity_sweep,
+        args=(runner,),
+        kwargs={"datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+
+    def series(dataset, reorder):
+        return {
+            row["s"]: row["speedup"]
+            for row in result.rows
+            if row["dataset"] == dataset and row["reorder"] == reorder
+        }
+
+    for dataset in datasets:
+        dbg = series(dataset, "dbg")
+        # DBG concentrates the hot data in the prefix: s=20% captures a
+        # disproportionate share of the s=100% gain.  The bar is highest
+        # for kron (no natural structure to preserve); community graphs
+        # keep a linear residual from their block-local traffic.
+        threshold = 0.6 if dataset == "kron-s" else 0.4
+        assert (
+            dbg[0.2] - dbg[0.0] > threshold * (dbg[1.0] - dbg[0.0])
+        ), dataset
+    if "kron-s" in datasets:
+        orig = series("kron-s", "original")
+        # Shuffled ids: s=20% captures far less of the full gain.
+        assert orig[0.2] - 1.0 < 0.5 * (orig[1.0] - 1.0)
+    budgets = [
+        row["huge_frac_of_footprint"]
+        for row in result.rows
+        if row["s"] == 0.2
+    ]
+    benchmark.extra_info["budget_at_s20"] = round(
+        sum(budgets) / len(budgets), 4
+    )

@@ -1,0 +1,28 @@
+"""§4.3 — single-use page-cache interference.
+
+Paper: caching the input file on the application's NUMA node consumes
+free memory exactly when huge pages are being allocated; staging it on
+the remote node via tmpfs avoids the interference.
+"""
+
+from repro.experiments import figures
+
+
+def test_pagecache_interference(benchmark, runner, datasets, report):
+    result = benchmark.pedantic(
+        figures.page_cache_interference,
+        args=(runner,),
+        kwargs={"datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        # Local caching must cost huge-page coverage (and never help).
+        assert row["huge_frac_local"] <= row["huge_frac_remote"] + 1e-9, row
+        assert row["thp_local_cache"] <= row["thp_tmpfs_remote"] + 0.02, row
+    worst = min(
+        row["huge_frac_local"] - row["huge_frac_remote"]
+        for row in result.rows
+    )
+    benchmark.extra_info["worst_coverage_loss"] = round(worst, 3)

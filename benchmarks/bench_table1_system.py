@@ -1,0 +1,56 @@
+"""Table 1 — evaluation system parameters.
+
+Prints the paper's machine (the ``paper-x86`` profile mirrors Table 1
+exactly) next to the SCALED profile actually used for simulation, with
+the reach ratios that DESIGN.md §3 argues are preserved.
+"""
+
+from repro.config import get_profile
+from repro.experiments.figures import FigureResult
+from repro.units import format_bytes
+
+
+def test_table1_system(benchmark, report):
+    def build():
+        result = FigureResult(
+            "table1",
+            "Evaluation system parameters (paper profile vs scaled)",
+        )
+        for name in ("paper-x86", "scaled", "tiny"):
+            cfg = get_profile(name)
+            stlb_reach = cfg.tlb.l2.entries * cfg.pages.base_page_size
+            result.rows.append(
+                {
+                    "profile": name,
+                    "base_page": format_bytes(cfg.pages.base_page_size),
+                    "huge_page": format_bytes(cfg.pages.huge_page_size),
+                    "l1_dtlb_4k": cfg.tlb.l1_base.entries,
+                    "l1_dtlb_huge": cfg.tlb.l1_huge.entries,
+                    "stlb": cfg.tlb.l2.entries,
+                    "node_memory": format_bytes(cfg.node_memory_bytes),
+                    "stlb_reach": format_bytes(stlb_reach),
+                }
+            )
+        return result
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(result)
+    rows = {row["profile"]: row for row in result.rows}
+    # Table 1 exactness.
+    assert rows["paper-x86"]["l1_dtlb_4k"] == 64
+    assert rows["paper-x86"]["l1_dtlb_huge"] == 32
+    assert rows["paper-x86"]["stlb"] == 1536
+    assert rows["paper-x86"]["huge_page"] == "2.0MiB"
+    # Both profiles must put a property array far beyond 4KB STLB reach
+    # (the regime every effect in the paper depends on): the paper's
+    # Kr25 property array is ~272MB vs 6MB reach; the scaled kron-s
+    # property array is 1MB vs 256KB reach.
+    paper = get_profile("paper-x86")
+    scaled = get_profile("scaled")
+    paper_property = 34_000_000 * 8
+    scaled_property = 131_072 * 8
+    assert paper_property >= 4 * paper.tlb.l2.entries * paper.pages.base_page_size
+    assert scaled_property >= 4 * scaled.tlb.l2.entries * scaled.pages.base_page_size
+    # ...while the huge-page STLB reach covers it in both.
+    assert paper_property <= paper.tlb.l2.entries * paper.pages.huge_page_size
+    assert scaled_property <= scaled.tlb.l2.entries * scaled.pages.huge_page_size

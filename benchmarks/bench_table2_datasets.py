@@ -1,0 +1,30 @@
+"""Table 2 — applications, inputs and memory footprints.
+
+The scaled dataset registry must preserve the paper's relative shape:
+Wikipedia smallest, SSSP footprints ~1.5x BFS (extra values array),
+PageRank slightly above BFS (extra rank array).
+"""
+
+from repro.experiments import figures
+
+
+def test_table2_datasets(benchmark, runner, workloads, datasets, report):
+    result = benchmark.pedantic(
+        figures.table2_datasets,
+        args=(runner,),
+        kwargs={"workloads": workloads, "datasets": datasets},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    by_cell = {
+        (row["workload"], row["dataset"]): row["footprint_bytes"]
+        for row in result.rows
+    }
+    benchmark.extra_info["cells"] = len(result.rows)
+    if {"bfs", "sssp"} <= set(workloads):
+        for dataset in datasets:
+            assert by_cell[("sssp", dataset)] > 1.3 * by_cell[("bfs", dataset)]
+    if "wiki-s" in datasets and "kron-s" in datasets:
+        first = workloads[0]
+        assert by_cell[(first, "wiki-s")] < by_cell[(first, "kron-s")]

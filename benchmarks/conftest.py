@@ -1,0 +1,76 @@
+"""Shared benchmark harness.
+
+Each benchmark regenerates one paper table/figure via
+:mod:`repro.experiments.figures` on the SCALED machine profile, prints
+the resulting rows, and writes them to ``benchmarks/results/<id>.txt``
+so the paper-vs-measured comparison in EXPERIMENTS.md can be refreshed.
+
+All benchmarks share one :class:`ExperimentRunner` (cells are cached, so
+figures that share baselines — e.g. the fresh-boot 4KB runs — are only
+simulated once per session).
+
+Environment knobs:
+
+- ``REPRO_BENCH_WORKLOADS`` — comma list (default ``bfs,sssp,pagerank``),
+- ``REPRO_BENCH_DATASETS`` — comma list (default the four Table 2
+  inputs).  Set e.g. ``REPRO_BENCH_DATASETS=kron-s`` for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import ALL_WORKLOADS, FigureResult
+from repro.experiments.harness import ExperimentRunner
+from repro.graph.datasets import EVALUATION_DATASETS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _env_list(name: str, default: tuple[str, ...]) -> tuple[str, ...]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+BENCH_WORKLOADS = _env_list("REPRO_BENCH_WORKLOADS", ALL_WORKLOADS)
+BENCH_DATASETS = _env_list("REPRO_BENCH_DATASETS", EVALUATION_DATASETS)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide runner: cells are cached across benchmarks."""
+    return ExperimentRunner(datasets=BENCH_DATASETS)
+
+
+@pytest.fixture(scope="session")
+def workloads() -> tuple[str, ...]:
+    return BENCH_WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def datasets() -> tuple[str, ...]:
+    return BENCH_DATASETS
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure's table (past pytest capture) and persist it."""
+
+    def _report(result: FigureResult) -> FigureResult:
+        text = result.render()
+        with capsys.disabled():
+            print()
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{result.figure_id}.json").write_text(
+            result.to_json() + "\n"
+        )
+        return result
+
+    return _report

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's future work, running: an online page-size autotuner.
+
+The paper concludes that huge pages "need to be managed by programmers,
+OSes, and next-generation automated systems ... leverag[ing] application
+behavior knowledge with real-time memory system resource tracking".
+:class:`repro.core.autotuner.OnlineAdvisor` is that automated system:
+
+- it starts with 4KB pages everywhere (no preprocessing, no madvise),
+- profiles the first workload iteration through the page profiler,
+- then promotes the hottest chunks of the per-vertex arrays — and only
+  those — using khugepaged's promotion machinery, paying copy costs and
+  TLB shootdowns like any run-time promotion.
+
+This example compares, under fragmentation, the 4KB baseline, greedy
+THP, the autotuner, and the paper's static programmer-guided plan.
+
+Run:  python examples/online_autotuner.py [dataset]
+"""
+
+import sys
+
+from repro.experiments.figures import recommended_reorder
+from repro.experiments.harness import ExperimentRunner
+from repro.experiments.policies import (
+    POLICIES,
+    autotuner_policy,
+    selective_policy,
+)
+from repro.experiments.scenarios import fragmented
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "kron-s"
+    runner = ExperimentRunner()
+    scenario = fragmented(0.5)
+
+    base = runner.run_cell("bfs", dataset, POLICIES["base4k"], scenario)
+    greedy = runner.run_cell("bfs", dataset, POLICIES["thp"], scenario)
+    tuner = runner.run_cell("bfs", dataset, autotuner_policy(), scenario)
+    static = runner.run_cell(
+        "bfs",
+        dataset,
+        selective_policy(0.2, reorder=recommended_reorder(runner, dataset)),
+        scenario,
+    )
+
+    print(f"BFS on {dataset}, {scenario.name}:")
+    print(f"  4KB baseline        : 1.00x (reference)")
+    print(f"  greedy THP          : {greedy.speedup_over(base):.2f}x")
+    print(
+        f"  online autotuner    : {tuner.speedup_over(base):.2f}x "
+        f"({tuner.manager_promotions} promotions at run time, "
+        f"{tuner.huge_footprint_fraction:.2%} of memory huge)"
+    )
+    print(
+        f"  programmer-guided   : {static.speedup_over(base):.2f}x "
+        f"({static.huge_footprint_fraction:.2%} of memory huge, "
+        "placed at initialization)"
+    )
+    print()
+    print(
+        "The autotuner needs no preprocessing or source changes; with "
+        "exact runtime hotness tracking it can even beat the static "
+        "plan (it skips DBG's preprocessing cost and covers the hot "
+        "pages wherever they are) — exactly the opportunity the paper's "
+        "conclusion points at for next-generation automated systems."
+    )
+
+
+if __name__ == "__main__":
+    main()

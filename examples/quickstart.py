@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run one graph workload on the simulated machine.
+
+Loads the scaled Kronecker input, runs BFS twice — once with 4KB pages
+only (the paper's baseline) and once with Linux-style system-wide THP on
+a freshly booted machine — and prints the numbers the paper's Figs. 1-3
+are made of: kernel cycles, DTLB miss rate, page-walk rate, and the
+speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, ThpPolicy, create_workload, load_dataset
+from repro.units import format_bytes
+
+
+def run_once(thp: ThpPolicy, label: str, graph):
+    machine = Machine(thp=thp)
+    workload = create_workload("bfs", graph)
+    metrics = machine.run(workload, dataset="kron-s")
+    print(f"--- {label} ---")
+    print(f"  kernel cycles    : {metrics.kernel_cycles:,}")
+    print(f"  DTLB miss rate   : {metrics.dtlb_miss_rate:.1%}")
+    print(f"  page-walk rate   : {metrics.walk_rate:.1%}")
+    print(
+        f"  huge-page backed : {format_bytes(metrics.huge_bytes)} "
+        f"({metrics.huge_footprint_fraction:.1%} of "
+        f"{format_bytes(metrics.footprint_bytes)})"
+    )
+    return metrics
+
+
+def main() -> None:
+    data = load_dataset("kron-s")
+    graph = data.graph
+    print(
+        f"dataset {data.name} ({data.paper_name}): "
+        f"{graph.num_vertices:,} vertices, {graph.num_edges:,} edges"
+    )
+    base = run_once(ThpPolicy.never(), "4KB pages only", graph)
+    thp = run_once(ThpPolicy.always(), "system-wide THP (fresh boot)", graph)
+    print(f"\nTHP speedup over 4KB pages: {thp.speedup_over(base):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) installs via this shim instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

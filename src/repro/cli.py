@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+Mirrors the paper artifact's shell-script workflow (Appendix §5) as a
+single entry point::
+
+    python -m repro run --workload bfs --dataset kron-s --policy thp \
+        --scenario high-pressure
+    python -m repro figure fig07 --workloads bfs --datasets kron-s
+    python -m repro datasets
+    python -m repro advise --dataset twitter-s
+    python -m repro profiles
+
+Subcommands:
+
+``run``
+    Simulate one cell and print its metrics (the paper's
+    ``app_output``/``results.txt`` numbers).
+``figure``
+    Regenerate one paper figure's rows (the ``thp.sh``-style drivers).
+``datasets``
+    List the registry with Table 2 statistics.
+``advise``
+    Print the page-size advisor's report for a dataset.
+``profiles``
+    List machine profiles and their geometry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .config import PROFILES, get_profile
+from .errors import ReproError
+from .units import format_bytes
+
+
+def _add_common_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default="scaled",
+        choices=sorted(PROFILES),
+        help="machine profile (default: scaled)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Simulated reproduction of 'The Implications of Page Size "
+            "Management on Graph Analytics' (IISWC 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one experiment cell")
+    run.add_argument("--workload", default="bfs")
+    run.add_argument("--dataset", default="kron-s")
+    run.add_argument(
+        "--policy",
+        default="base4k",
+        help="policy name (see 'repro policies') or selective:<s>[:<reorder>]",
+    )
+    run.add_argument(
+        "--scenario",
+        default="fresh",
+        help="fresh | high-pressure | low-pressure | frag-50 | "
+        "oversubscribed | constrained:<gb> | fragmented:<level>[:<gb>]",
+    )
+    _add_common_machine_args(run)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument(
+        "figure_id",
+        help="e.g. fig01, fig07, fig11, headline — or 'all'",
+    )
+    figure.add_argument("--workloads", default=None,
+                        help="comma list (default: figure's own)")
+    figure.add_argument("--datasets", default=None,
+                        help="comma list (default: all Table 2 inputs)")
+    figure.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    _add_common_machine_args(figure)
+
+    sub.add_parser("datasets", help="list datasets (Table 2)")
+    sub.add_parser("policies", help="list named policies")
+    sub.add_parser("profiles", help="list machine profiles")
+
+    advise = sub.add_parser(
+        "advise", help="run the page-size advisor on a dataset"
+    )
+    advise.add_argument("--dataset", default="kron-s")
+    _add_common_machine_args(advise)
+
+    return parser
+
+
+def _parse_policy(spec: str):
+    from .experiments.policies import POLICIES, selective_policy
+
+    if spec.startswith("selective:"):
+        parts = spec.split(":")
+        fraction = float(parts[1])
+        reorder = parts[2] if len(parts) > 2 else "dbg"
+        return selective_policy(fraction, reorder=reorder)
+    if spec in POLICIES:
+        return POLICIES[spec]
+    raise ReproError(
+        f"unknown policy {spec!r}; known: "
+        + ", ".join(sorted(POLICIES))
+        + ", selective:<s>[:<reorder>]"
+    )
+
+
+def _parse_scenario(spec: str):
+    from .experiments.scenarios import (
+        SCENARIOS,
+        constrained,
+        fragmented,
+    )
+
+    if spec in SCENARIOS:
+        return SCENARIOS[spec]
+    if spec.startswith("constrained:"):
+        return constrained(float(spec.split(":")[1]))
+    if spec.startswith("fragmented:"):
+        parts = spec.split(":")
+        level = float(parts[1])
+        pressure = float(parts[2]) if len(parts) > 2 else 3.0
+        return fragmented(level, pressure)
+    raise ReproError(
+        f"unknown scenario {spec!r}; known: "
+        + ", ".join(sorted(SCENARIOS))
+        + ", constrained:<gb>, fragmented:<level>[:<gb>]"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.harness import ExperimentRunner
+
+    runner = ExperimentRunner(config=get_profile(args.profile))
+    policy = _parse_policy(args.policy)
+    scenario = _parse_scenario(args.scenario)
+    metrics = runner.run_cell(args.workload, args.dataset, policy, scenario)
+    print(f"{args.workload} on {args.dataset} | policy={policy.name} "
+          f"| scenario={scenario.name}")
+    for key, value in metrics.summary().items():
+        print(f"  {key:26s}: {value}")
+    for name, fraction in metrics.huge_fraction_per_array.items():
+        print(f"  huge[{name}]".ljust(28) + f": {fraction:.1%}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import figures as figure_module
+    from .experiments.harness import ExperimentRunner
+
+    functions = {
+        "fig01": figure_module.fig01_thp_speedup,
+        "fig02": figure_module.fig02_translation_overhead,
+        "fig03": figure_module.fig03_tlb_miss_rates,
+        "fig04": figure_module.fig04_access_breakdown,
+        "fig05": figure_module.fig05_data_structure_thp,
+        "table2": figure_module.table2_datasets,
+        "fig07": figure_module.fig07_pressure_alloc_order,
+        "fig07b": figure_module.fig07b_pressure_sweep,
+        "fig08": figure_module.fig08_fragmentation,
+        "fig09": figure_module.fig09_frag_sweep,
+        "fig10": figure_module.fig10_selective_thp,
+        "fig11": figure_module.fig11_selectivity_sweep,
+        "pagecache": figure_module.page_cache_interference,
+        "dbg-overhead": figure_module.dbg_overhead,
+        "headline": figure_module.headline_summary,
+        "abl-census": figure_module.ablation_alloc_order_census,
+        "abl-promotion": figure_module.ablation_promotion_path,
+        "abl-reorder": figure_module.ablation_reorder,
+    }
+    if args.figure_id == "all":
+        selected = list(functions.values())
+    elif args.figure_id in functions:
+        selected = [functions[args.figure_id]]
+    else:
+        raise ReproError(
+            f"unknown figure {args.figure_id!r}; known: all, "
+            + ", ".join(sorted(functions))
+        )
+    runner = ExperimentRunner(config=get_profile(args.profile))
+    kwargs = {}
+    if args.workloads:
+        kwargs["workloads"] = tuple(args.workloads.split(","))
+    if args.datasets:
+        kwargs["datasets"] = tuple(args.datasets.split(","))
+    for function in selected:
+        result = function(runner, **kwargs)
+        print(result.to_json() if args.json else result.render())
+        if len(selected) > 1:
+            print()
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .graph.datasets import DATASETS, load_dataset
+    from .graph.stats import degree_stats
+
+    for name, spec in DATASETS.items():
+        if name == "test-small":
+            continue
+        graph = load_dataset(name).graph
+        stats = degree_stats(graph)
+        print(
+            f"{name:12s} {spec.paper_name:22s} "
+            f"V={graph.num_vertices:>8,} E={graph.num_edges:>10,} "
+            f"avg_deg={graph.average_degree:5.1f} "
+            f"gini={stats.gini:.2f} "
+            f"hot80%={stats.hot_set_fraction:6.1%} "
+            f"skew={stats.skew_class:8s} {spec.description}"
+        )
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    from .experiments.policies import POLICIES
+
+    for name, policy in POLICIES.items():
+        thp = policy.make_thp()
+        print(f"{name:16s} thp={thp.mode.value:8s} "
+              f"order={policy.plan.order.value:14s} "
+              f"reorder={policy.plan.reorder}")
+    print("selective:<s>[:<reorder>]   madvise s% of the property array")
+    return 0
+
+
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    for name in sorted(PROFILES):
+        cfg = get_profile(name)
+        print(
+            f"{name:10s} base={format_bytes(cfg.pages.base_page_size)} "
+            f"huge={format_bytes(cfg.pages.huge_page_size)} "
+            f"L1={cfg.tlb.l1_base.entries}+{cfg.tlb.l1_huge.entries} "
+            f"STLB={cfg.tlb.l2.entries} "
+            f"node={format_bytes(cfg.node_memory_bytes)}"
+        )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core.advisor import PageSizeAdvisor
+    from .graph.datasets import load_dataset
+
+    data = load_dataset(args.dataset)
+    report = PageSizeAdvisor(
+        data.graph, config=get_profile(args.profile)
+    ).advise()
+    print(f"advisor report for {data.name}:")
+    print(f"  hot vertex fraction : {report.hot_vertex_fraction:.2%}")
+    print(f"  access coverage     : {report.access_coverage:.2%}")
+    print(f"  natural clustering  : {report.natural_clustering:.2%}")
+    print(f"  reorder             : {report.plan.reorder}")
+    print(f"  advise fraction s   : {report.advise_fraction:.2%}")
+    print(f"  huge pages needed   : {report.huge_pages_needed}")
+    print(f"  budget fraction     : {report.budget_fraction:.2%}")
+    return 0
+
+
+COMMANDS = {
+    "run": _cmd_run,
+    "figure": _cmd_figure,
+    "datasets": _cmd_datasets,
+    "policies": _cmd_policies,
+    "profiles": _cmd_profiles,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

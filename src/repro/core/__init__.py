@@ -1,0 +1,25 @@
+"""The paper's primary contribution: application-aware page size
+management for graph analytics.
+
+- :mod:`repro.core.plan` — :class:`PlacementPlan`: which arrays to back
+  with huge pages, how much of the (reordered) property array to advise,
+  and the allocation order.
+- :mod:`repro.core.advisor` — :class:`PageSizeAdvisor`: derives a plan
+  from the workload's layout and the graph's degree profile (§5).
+- :mod:`repro.core.selective` — applies plans and reports the huge-page
+  budget statistics (the 0.58–2.92% headline).
+"""
+
+from .plan import PlacementPlan
+from .advisor import AdvisorReport, PageSizeAdvisor
+from .autotuner import OnlineAdvisor
+from .selective import huge_page_budget, selective_property_plan
+
+__all__ = [
+    "AdvisorReport",
+    "OnlineAdvisor",
+    "PageSizeAdvisor",
+    "PlacementPlan",
+    "huge_page_budget",
+    "selective_property_plan",
+]

@@ -1,0 +1,165 @@
+"""The page-size advisor: the paper's manual tuning, codified (§5).
+
+The paper's optimization is performed by a programmer who (1) knows the
+property array is the TLB-miss hot spot, (2) reorders vertices with DBG
+so hot property entries share pages, and (3) madvises only the hot prefix
+of the property array.  :class:`PageSizeAdvisor` derives those decisions
+from the graph itself:
+
+- property-access frequency per vertex is its in-degree (push-based
+  kernels update ``prop[dst]`` once per incoming edge);
+- the *hot set* is chosen as the smallest group of hottest vertices
+  covering a target fraction of all property accesses;
+- DBG is recommended when the hot set is scattered across the id space
+  (Kronecker-like inputs); skipped when the input already clusters hubs
+  (Twitter/Wikipedia-like inputs, §5.2);
+- the madvise fraction ``s`` is the hot set's share of the (reordered)
+  property array, rounded up to whole huge pages.
+
+This is the "first step towards automatically identifying and exploiting
+the asymmetric value of huge page allocations" the paper calls for in its
+conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MachineConfig, scaled
+from ..graph.csr import CsrGraph
+from ..graph.reorder import dbg_order
+from ..workloads.base import ARRAY_PROPERTY
+from ..workloads.layout import ELEMENT_BYTES, AllocationOrder
+from .plan import PlacementPlan
+
+
+@dataclass(frozen=True)
+class AdvisorReport:
+    """The advisor's decision and the evidence behind it.
+
+    Attributes:
+        plan: the placement plan to run with.
+        hot_vertex_fraction: fraction of vertices in the chosen hot set.
+        access_coverage: fraction of property accesses the hot set
+            receives.
+        natural_clustering: fraction of the hot set already residing in
+            the leading ``hot_vertex_fraction`` of the id space (1.0 =
+            perfectly clustered, ≈ ``hot_vertex_fraction`` = random).
+        reorder_recommended: whether DBG preprocessing is worth it.
+        advise_fraction: ``s``, the property-array fraction to madvise.
+        huge_pages_needed: huge pages covering the advised range.
+        budget_fraction: advised bytes over the whole-graph footprint
+            (compare with the paper's 0.58–2.92%).
+    """
+
+    plan: PlacementPlan
+    hot_vertex_fraction: float
+    access_coverage: float
+    natural_clustering: float
+    reorder_recommended: bool
+    advise_fraction: float
+    huge_pages_needed: int
+    budget_fraction: float
+
+
+class PageSizeAdvisor:
+    """Derive huge-page guidance from a graph's degree profile."""
+
+    def __init__(
+        self,
+        graph: CsrGraph,
+        config: MachineConfig | None = None,
+        coverage_target: float = 0.8,
+        clustering_threshold: float = 0.6,
+    ) -> None:
+        """
+        Args:
+            graph: the input network.
+            config: machine profile (for huge-page rounding); defaults to
+                the SCALED profile.
+            coverage_target: fraction of property accesses the advised
+                range must cover.
+            clustering_threshold: if at least this fraction of the hot
+                set already sits in the leading id range, skip DBG.
+        """
+        self.graph = graph
+        self.config = config if config is not None else scaled()
+        self.coverage_target = coverage_target
+        self.clustering_threshold = clustering_threshold
+
+    def advise(self, footprint_bytes: int | None = None) -> AdvisorReport:
+        """Produce a placement plan for a push-based kernel on this graph.
+
+        Args:
+            footprint_bytes: the application footprint used for the
+                budget statistic; defaults to the CSR + property footprint.
+        """
+        graph = self.graph
+        num_vertices = graph.num_vertices
+        in_degrees = graph.in_degrees().astype(np.int64)
+        total_accesses = max(1, int(in_degrees.sum()))
+
+        # Smallest hottest-first set covering the access target.
+        order = np.argsort(-in_degrees, kind="stable")
+        covered = np.cumsum(in_degrees[order]) / total_accesses
+        hot_count = int(np.searchsorted(covered, self.coverage_target) + 1)
+        hot_count = min(hot_count, num_vertices)
+        hot_fraction = hot_count / max(1, num_vertices)
+        coverage = float(covered[hot_count - 1])
+
+        # How clustered is the hot set already?  Count hot vertices whose
+        # id falls inside the leading hot_count ids.
+        hot_ids = order[:hot_count]
+        clustering = float(np.count_nonzero(hot_ids < hot_count)) / max(
+            1, hot_count
+        )
+        reorder_needed = clustering < self.clustering_threshold
+
+        # Advise the prefix that will hold the hot set after (optional)
+        # DBG.  DBG's bins are coarser than an exact top-k cut, so size
+        # the prefix by where the coverage target lands in the DBG order.
+        if reorder_needed:
+            perm = dbg_order(graph)
+            degrees_by_new_id = np.empty(num_vertices, dtype=np.int64)
+            degrees_by_new_id[perm] = in_degrees
+        else:
+            degrees_by_new_id = in_degrees
+        prefix_cover = np.cumsum(degrees_by_new_id) / total_accesses
+        prefix_count = int(
+            np.searchsorted(prefix_cover, self.coverage_target) + 1
+        )
+        prefix_count = min(prefix_count, num_vertices)
+
+        huge = self.config.pages.huge_page_size
+        advised_bytes = prefix_count * ELEMENT_BYTES
+        huge_pages = max(1, -(-advised_bytes // huge))
+        property_bytes = num_vertices * ELEMENT_BYTES
+        fraction = min(1.0, huge_pages * huge / property_bytes)
+
+        if footprint_bytes is None:
+            footprint_bytes = (
+                (num_vertices + 1 + graph.num_edges) * ELEMENT_BYTES
+                + property_bytes
+            )
+        budget = min(1.0, (huge_pages * huge) / max(1, footprint_bytes))
+
+        plan = PlacementPlan(
+            order=AllocationOrder.PROPERTY_FIRST,
+            advise_fractions={ARRAY_PROPERTY: fraction},
+            reorder="dbg" if reorder_needed else "original",
+            label=f"advisor(s={fraction:.0%}"
+            + (",dbg" if reorder_needed else "")
+            + ")",
+        )
+        return AdvisorReport(
+            plan=plan,
+            hot_vertex_fraction=hot_fraction,
+            access_coverage=coverage,
+            natural_clustering=clustering,
+            reorder_recommended=reorder_needed,
+            advise_fraction=fraction,
+            huge_pages_needed=huge_pages,
+            budget_fraction=budget,
+        )

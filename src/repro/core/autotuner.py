@@ -1,0 +1,119 @@
+"""Online page-size autotuning: the paper's future work, implemented.
+
+The conclusion of the paper calls for "automated software and hardware
+co-designed runtime systems" that combine *application behaviour
+knowledge* with *real-time memory system resource tracking*.
+:class:`OnlineAdvisor` is exactly that runtime, built from the pieces
+this library already has:
+
+- application knowledge: push-based graph kernels concentrate their
+  irregular traffic in the property array, so only the per-vertex
+  arrays are promotion targets;
+- runtime tracking: a :class:`~repro.mem.profiler.PageProfiler` watches
+  the first ``warmup_iterations`` access streams;
+- action: after warmup, the advisor ranks the target arrays' chunks by
+  observed hotness and promotes the smallest set covering
+  ``coverage_target`` of the observed property traffic (bounded by
+  ``max_chunks``), using the khugepaged promotion machinery — paying
+  copy costs and TLB shootdowns like any run-time promotion.
+
+Unlike the static :class:`~repro.core.advisor.PageSizeAdvisor`, this
+needs no preprocessing and no prior knowledge of the input graph: it
+discovers the hot pages of *this* run, including skew that only emerges
+from the traversal order.  The price is the unaccelerated warmup and
+the promotion copies — which is the paper's point about fault-time
+allocation being preferable when the programmer already knows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..mem.heuristics import HugePageManager
+from ..mem.vmm import Vma
+from ..workloads.base import ARRAY_PROPERTY, ARRAY_RANK
+
+
+class OnlineAdvisor(HugePageManager):
+    """Profile-then-promote runtime for the per-vertex arrays."""
+
+    def __init__(
+        self,
+        target_array_ids: tuple[int, ...] = (ARRAY_PROPERTY, ARRAY_RANK),
+        warmup_iterations: int = 1,
+        coverage_target: float = 0.85,
+        max_chunks: Optional[int] = None,
+        promotions_per_pass: int = 64,
+    ) -> None:
+        """
+        Args:
+            target_array_ids: arrays eligible for promotion (application
+                knowledge: the pointer-indirect per-vertex arrays).
+            warmup_iterations: access streams observed before acting.
+            coverage_target: fraction of observed target-array accesses
+                the promoted chunks must cover.
+            max_chunks: hard cap on promoted chunks (huge-page budget);
+                ``None`` = bounded only by coverage.
+            promotions_per_pass: promotion rate limit per iteration
+                (khugepaged-style batching).
+        """
+        super().__init__(promotions_per_pass)
+        self.target_array_ids = target_array_ids
+        self.warmup_iterations = warmup_iterations
+        self.coverage_target = coverage_target
+        self.max_chunks = max_chunks
+        self._iterations_seen = 0
+
+    def candidate_chunks(self, vma: Vma) -> np.ndarray:  # pragma: no cover
+        raise AssertionError("OnlineAdvisor overrides on_iteration")
+
+    # ------------------------------------------------------------------
+
+    def on_iteration(self) -> int:
+        """Adaptive re-planning: the hot set is recomputed from the
+        *cumulative* profile every pass, so early iterations' sparse
+        samples (a BFS run's first frontiers touch only a sliver of the
+        graph) are corrected as observations accumulate."""
+        self._iterations_seen += 1
+        if self._iterations_seen < self.warmup_iterations:
+            return 0
+        promoted = 0
+        for vma, chunk in self._hot_set():
+            if promoted >= self.promotions_per_pass:
+                break
+            if self.max_chunks is not None and (
+                self.total_promotions >= self.max_chunks
+            ):
+                break
+            if not self._promotable(vma, chunk):
+                continue  # already huge (still counts toward coverage)
+            if not self.vmm.promote_chunk(vma, chunk):
+                break  # out of huge regions; retry next pass
+            promoted += 1
+            self.total_promotions += 1
+        return promoted
+
+    def _hot_set(self) -> list[tuple[Vma, int]]:
+        """The smallest hottest-first chunk set covering the coverage
+        target of all observed target-array accesses (huge or not)."""
+        entries: list[tuple[int, Vma, int]] = []
+        total = 0
+        for array_id in self.target_array_ids:
+            vma = self.process.vma_by_array.get(array_id)
+            if vma is None:
+                continue
+            counts = self.profiler.chunk_counts(vma)
+            total += int(counts.sum())
+            for chunk in np.flatnonzero(counts > 0):
+                entries.append((int(counts[chunk]), vma, int(chunk)))
+        entries.sort(key=lambda item: -item[0])
+        hot: list[tuple[Vma, int]] = []
+        covered = 0
+        for count, vma, chunk in entries:
+            if total and covered / total >= self.coverage_target:
+                break
+            hot.append((vma, chunk))
+            covered += count
+        return hot

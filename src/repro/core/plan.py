@@ -1,0 +1,82 @@
+"""Placement plans: the programmer-guided page-size decisions of §5.2.
+
+A :class:`PlacementPlan` is the contract between the advisor (which data
+deserves huge pages) and the machine (which simulated ``madvise`` calls
+to issue and in which order to allocate arrays).  Plans are plain data so
+experiments can construct them directly for sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..workloads.layout import AllocationOrder
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Huge-page guidance for one workload run.
+
+    Attributes:
+        order: allocation order (natural vs property-first).
+        advise_fractions: per-array-id fraction (0..1] of the array's
+            *leading* bytes to cover with ``MADV_HUGEPAGE``.  With DBG
+            preprocessing the hottest vertices occupy the array prefix,
+            so a leading fraction is exactly the paper's "apply THPs to
+            s% of the property array".  Arrays absent from the mapping
+            get no advice.
+        hugetlb_fractions: per-array-id fraction of the array's leading
+            bytes to back from a boot-time hugetlbfs reservation
+            instead of THP (§2.3's explicit mechanism).  The harness
+            sizes and reserves the pool *before* memory pressure is
+            applied, modeling ``vm.nr_hugepages`` at boot.
+        reorder: named vertex ordering to apply before the run
+            ("original", "dbg", "degree-sort", "random").
+        label: human-readable plan name for reports.
+    """
+
+    order: AllocationOrder = AllocationOrder.NATURAL
+    advise_fractions: dict[int, float] = field(default_factory=dict)
+    hugetlb_fractions: dict[int, float] = field(default_factory=dict)
+    reorder: str = "original"
+    label: str = "plan"
+
+    def __post_init__(self) -> None:
+        for source in (self.advise_fractions, self.hugetlb_fractions):
+            for array_id, fraction in source.items():
+                if not 0.0 < fraction <= 1.0:
+                    raise ConfigError(
+                        f"fraction for array {array_id} must be in "
+                        f"(0, 1], got {fraction}"
+                    )
+        overlap = set(self.advise_fractions) & set(self.hugetlb_fractions)
+        if overlap:
+            raise ConfigError(
+                f"arrays {sorted(overlap)} cannot use both madvise THP "
+                "and a hugetlb reservation"
+            )
+
+    @staticmethod
+    def none() -> "PlacementPlan":
+        """No guidance: the 4KB baseline / pure-THP-mode runs."""
+        return PlacementPlan(label="none")
+
+    def advised_bytes(self, array_lengths: dict[int, int]) -> int:
+        """Total bytes covered by ``MADV_HUGEPAGE`` under this plan."""
+        total = 0
+        for array_id, fraction in self.advise_fractions.items():
+            length = array_lengths.get(array_id, 0)
+            total += int(length * fraction)
+        return total
+
+    def hugetlb_regions_needed(
+        self, array_lengths: dict[int, int], huge_page_size: int
+    ) -> int:
+        """Pool size (in regions) a boot-time reservation must hold to
+        satisfy this plan's hugetlb-backed ranges."""
+        regions = 0
+        for array_id, fraction in self.hugetlb_fractions.items():
+            length = array_lengths.get(array_id, 0)
+            regions += -(-int(length * fraction) // huge_page_size)
+        return regions

@@ -1,0 +1,47 @@
+"""Selective THP helpers: plans and budget accounting (§5.2).
+
+These are the building blocks the paper's selective-THP experiments use
+directly: a plan backing ``s%`` of the property array with huge pages
+(on top of DBG preprocessing and property-first allocation) and the
+huge-page budget statistic.
+"""
+
+from __future__ import annotations
+
+from ..workloads.base import ARRAY_PROPERTY
+from ..workloads.layout import AllocationOrder
+from .plan import PlacementPlan
+
+
+def selective_property_plan(
+    fraction: float,
+    reorder: str = "dbg",
+    order: AllocationOrder = AllocationOrder.PROPERTY_FIRST,
+    label: str | None = None,
+) -> PlacementPlan:
+    """A plan that madvises the leading ``fraction`` of the property
+    array (the paper's "THPs applied selectively to s% of the property
+    array").
+
+    ``fraction == 0`` yields a plan with no advice (pure 4KB run with the
+    given reordering), matching the 0% end of the Fig. 11 sweep.
+    """
+    if label is None:
+        label = f"selective(s={fraction:.0%},{reorder})"
+    advise = {ARRAY_PROPERTY: fraction} if fraction > 0 else {}
+    return PlacementPlan(
+        order=order,
+        advise_fractions=advise,
+        reorder=reorder,
+        label=label,
+    )
+
+
+def huge_page_budget(
+    huge_bytes: int, footprint_bytes: int
+) -> float:
+    """Fraction of the application footprint backed by huge pages —
+    the abstract's "0.58 – 2.92% of the memory resources"."""
+    if footprint_bytes <= 0:
+        return 0.0
+    return huge_bytes / footprint_bytes

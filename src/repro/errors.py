@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError` so
+callers can catch simulator failures without masking programming errors
+(``TypeError``, ``ValueError`` from misuse are still raised directly where
+appropriate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class OutOfMemoryError(ReproError):
+    """A physical memory allocation could not be satisfied.
+
+    Raised when neither free frames, compaction, nor reclaim can produce
+    the requested pages and swap is not enabled for the machine.
+    """
+
+
+class AllocationError(ReproError):
+    """A virtual memory operation failed (bad range, overlap, misuse)."""
+
+
+class AddressError(ReproError):
+    """An access touched an unmapped or out-of-range virtual address."""
+
+
+class GraphError(ReproError):
+    """A graph structure is malformed or an operation is unsupported."""
+
+
+class DatasetError(GraphError):
+    """A named dataset is unknown or could not be materialized."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured or driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness cell could not be configured or run."""

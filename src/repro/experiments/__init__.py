@@ -1,0 +1,27 @@
+"""Experiment harness: the paper's evaluation, cell by cell.
+
+- :mod:`repro.experiments.scenarios` — named memory-state scenarios
+  (fresh boot, constrained by Δ, fragmented F%, oversubscribed).
+- :mod:`repro.experiments.policies` — named page-management policies
+  (4KB baseline, Linux THP, madvise-per-array, DBG, selective THP).
+- :mod:`repro.experiments.harness` — :class:`ExperimentRunner`: runs one
+  (workload, dataset, policy, scenario) cell on a freshly configured
+  machine, with caching across figures.
+- :mod:`repro.experiments.figures` — one function per paper table/figure.
+- :mod:`repro.experiments.reporting` — text-table rendering.
+"""
+
+from .scenarios import Scenario, SCENARIOS
+from .policies import Policy, POLICIES, selective_policy
+from .harness import ExperimentRunner
+from .reporting import format_table
+
+__all__ = [
+    "ExperimentRunner",
+    "POLICIES",
+    "Policy",
+    "SCENARIOS",
+    "Scenario",
+    "format_table",
+    "selective_policy",
+]

@@ -1,0 +1,205 @@
+"""The experiment runner: one (workload, dataset, policy, scenario) cell
+per call, on a freshly configured machine.
+
+Every cell is deterministic, so results are cached by cell key — figures
+share baselines (e.g. the 4KB fresh-boot run) without re-simulating.
+
+The runner reproduces the paper's measurement methodology (§3.1,
+Appendix):
+
+- the machine is configured (memhog → background noise → frag) before
+  the application starts, and setup-time kernel work is not charged;
+- the input file is staged through the page cache (remote tmpfs by
+  default, local node to reproduce §4.3's interference);
+- DBG preprocessing happens before the measured run but its cost is
+  recorded and charged to kernel time, as the paper does (§5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import MachineConfig, scaled
+from ..errors import ExperimentError
+from ..graph.csr import CsrGraph
+from ..graph.datasets import EVALUATION_DATASETS, load_dataset
+from ..graph.io import on_disk_bytes
+from ..graph.reorder import DBG_COST, ORDERINGS
+from ..machine.machine import Machine
+from ..machine.metrics import RunMetrics
+from ..workloads.layout import MemoryLayout
+from ..workloads.registry import create_workload, workload_needs_weights
+from .policies import Policy
+from .scenarios import Scenario
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs and caches experiment cells on one machine profile.
+
+    Attributes:
+        config: machine profile (default SCALED).
+        pagerank_iterations: iteration cap for PR cells, keeping trace
+            volume proportional across datasets (the paper runs to
+            convergence on real hardware; the cap does not change which
+            policy wins, only absolute cycle counts).
+        datasets: dataset names used by the figure functions.
+    """
+
+    config: MachineConfig = field(default_factory=scaled)
+    pagerank_iterations: int = 3
+    datasets: tuple[str, ...] = EVALUATION_DATASETS
+    _cache: dict[tuple, RunMetrics] = field(default_factory=dict)
+    _graph_cache: dict[tuple[str, str, bool], tuple[CsrGraph, int]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+
+    def run_cell(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+    ) -> RunMetrics:
+        """Simulate one cell; cached on repeat calls."""
+        key = (
+            workload_name,
+            dataset_name,
+            policy.name,
+            policy.plan.order.value,
+            tuple(sorted(policy.plan.advise_fractions.items())),
+            tuple(sorted(policy.plan.hugetlb_fractions.items())),
+            policy.plan.reorder,
+            scenario,
+            self.pagerank_iterations,
+            self.config.name,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        graph, preprocess_accesses = self._prepared_graph(
+            dataset_name, policy.plan.reorder,
+            weighted=workload_needs_weights(workload_name),
+        )
+        workload = self._make_workload(workload_name, graph)
+        machine = Machine(self.config, policy.make_thp())
+        layout = MemoryLayout(workload, policy.plan.order)
+        self._apply_scenario(machine, scenario, layout, policy.plan)
+        metrics = machine.run(
+            workload,
+            plan=policy.plan,
+            load_bytes=on_disk_bytes(graph),
+            tmpfs_remote=scenario.tmpfs_remote,
+            preprocess_accesses=preprocess_accesses,
+            dataset=dataset_name,
+            manager=policy.make_manager(),
+        )
+        metrics.context.update(
+            scenario=scenario.name,
+            pressure_gb=scenario.pressure_gb,
+            frag_level=scenario.frag_level,
+            policy=policy.name,
+        )
+        self._cache[key] = metrics
+        return metrics
+
+    # ------------------------------------------------------------------
+
+    def _prepared_graph(
+        self, dataset_name: str, reorder: str, weighted: bool
+    ) -> tuple[CsrGraph, int]:
+        """The dataset's graph under the requested ordering, plus the
+        preprocessing access count to charge."""
+        key = (dataset_name, reorder, weighted)
+        cached = self._graph_cache.get(key)
+        if cached is not None:
+            return cached
+        graph = load_dataset(dataset_name, weighted=weighted).graph
+        if reorder == "original":
+            result = (graph, 0)
+        else:
+            try:
+                ordering = ORDERINGS[reorder]
+            except KeyError:
+                raise ExperimentError(f"unknown reordering {reorder!r}")
+            perm = ordering(graph)
+            accesses = DBG_COST.accesses(
+                graph.num_vertices, graph.num_edges
+            )
+            result = (graph.relabel(perm), accesses)
+        self._graph_cache[key] = result
+        return result
+
+    def _make_workload(self, workload_name: str, graph: CsrGraph):
+        kwargs = {}
+        if workload_name == "pagerank":
+            kwargs["max_iterations"] = self.pagerank_iterations
+        return create_workload(workload_name, graph, **kwargs)
+
+    def _apply_scenario(
+        self,
+        machine: Machine,
+        scenario: Scenario,
+        layout: MemoryLayout,
+        plan=None,
+    ) -> None:
+        """Configure machine memory state before the measured run.
+
+        hugetlbfs reservations are made *first* (boot-time semantics:
+        ``vm.nr_hugepages`` is set before any pressure exists), then
+        memhog, background noise and fragmentation follow.
+        """
+        if plan is not None and plan.hugetlb_fractions:
+            lengths = {
+                spec.array_id: spec.length_bytes
+                for spec in layout.specs.values()
+            }
+            regions = plan.hugetlb_regions_needed(
+                lengths, machine.config.pages.huge_page_size
+            )
+            machine.reserve_hugetlb(regions)
+        if scenario.is_pressured:
+            assert scenario.pressure_gb is not None
+            gb = machine.config.gb_equivalent
+            free_target = layout.total_bytes + int(scenario.pressure_gb * gb)
+            if free_target < 0:
+                raise ExperimentError(
+                    f"scenario {scenario.name} leaves negative free memory"
+                )
+            machine.memhog_leave_free(free_target)
+            machine.scatter_noise(
+                nonmovable_bytes=int(scenario.noise_nonmovable_gb * gb),
+                movable_bytes=int(scenario.noise_movable_gb * gb),
+            )
+        if scenario.frag_level > 0.0:
+            machine.fragment(scenario.frag_level)
+        machine.finish_setup()
+
+    # ------------------------------------------------------------------
+
+    def speedup(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+        baseline_policy: Policy,
+        baseline_scenario: Optional[Scenario] = None,
+    ) -> float:
+        """Kernel-time speedup of (policy, scenario) over the baseline
+        cell for the same workload and dataset."""
+        if baseline_scenario is None:
+            baseline_scenario = scenario
+        run = self.run_cell(workload_name, dataset_name, policy, scenario)
+        base = self.run_cell(
+            workload_name, dataset_name, baseline_policy, baseline_scenario
+        )
+        return run.speedup_over(base)
+
+    def clear_cache(self) -> None:
+        """Drop all cached cells (frees memory between figure batches)."""
+        self._cache.clear()

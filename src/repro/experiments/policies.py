@@ -1,0 +1,206 @@
+"""Named page-management policies (the bars of the paper's figures).
+
+A :class:`Policy` pairs a THP kernel configuration with a placement plan
+(allocation order, madvise ranges, reordering).  The registry covers
+every policy the paper evaluates:
+
+- ``base4k`` — THP disabled system-wide (the baseline, green bars);
+- ``thp`` — Linux's greedy system-wide THP with the natural allocation
+  order (orange/red bars);
+- ``thp-opt`` — system-wide THP with the property-first allocation order
+  (purple bars of Figs. 7/8);
+- ``madv-vertex`` / ``madv-edge`` / ``madv-values`` / ``madv-property``
+  — huge pages for a single data structure via ``madvise`` (Fig. 5);
+- ``dbg`` — DBG preprocessing with 4KB pages (Fig. 10 green);
+- ``dbg+thp`` — DBG with system-wide THP (Fig. 10 red);
+- selective policies from :func:`selective_policy` — DBG + madvise on
+  the leading s% of the property array (Fig. 10 purple/brown, Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.autotuner import OnlineAdvisor
+from ..core.plan import PlacementPlan
+from ..core.selective import selective_property_plan
+from ..mem.heuristics import (
+    HotnessManager,
+    HugePageManager,
+    UtilizationManager,
+)
+from ..mem.thp import ThpMode, ThpPolicy
+from ..workloads.base import (
+    ARRAY_EDGE,
+    ARRAY_PROPERTY,
+    ARRAY_VALUES,
+    ARRAY_VERTEX,
+)
+from ..workloads.layout import AllocationOrder
+
+
+@dataclass(frozen=True)
+class Policy:
+    """One page-management configuration.
+
+    Optionally carries a run-time huge-page manager factory (heuristic
+    kernel policies and the online autotuner run *during* execution,
+    unlike the static plans).
+    """
+
+    name: str
+    thp_factory: Callable[[], ThpPolicy]
+    plan: PlacementPlan
+    manager_factory: Optional[Callable[[], HugePageManager]] = None
+
+    def make_thp(self) -> ThpPolicy:
+        """Fresh THP policy object (policies are stateless; machines are
+        not)."""
+        return self.thp_factory()
+
+    def make_manager(self) -> Optional[HugePageManager]:
+        """Fresh run-time manager, if this policy uses one."""
+        if self.manager_factory is None:
+            return None
+        return self.manager_factory()
+
+
+def _madvise_one(array_id: int, array_name: str) -> Policy:
+    return Policy(
+        name=f"madv-{array_name}",
+        thp_factory=ThpPolicy.madvise,
+        plan=PlacementPlan(
+            advise_fractions={array_id: 1.0},
+            label=f"madv-{array_name}",
+        ),
+    )
+
+
+POLICIES: dict[str, Policy] = {
+    "base4k": Policy(
+        name="base4k",
+        thp_factory=ThpPolicy.never,
+        plan=PlacementPlan(label="base4k"),
+    ),
+    "thp": Policy(
+        name="thp",
+        thp_factory=ThpPolicy.always,
+        plan=PlacementPlan(label="thp"),
+    ),
+    "thp-opt": Policy(
+        name="thp-opt",
+        thp_factory=ThpPolicy.always,
+        plan=PlacementPlan(
+            order=AllocationOrder.PROPERTY_FIRST, label="thp-opt"
+        ),
+    ),
+    "madv-vertex": _madvise_one(ARRAY_VERTEX, "vertex"),
+    "madv-edge": _madvise_one(ARRAY_EDGE, "edge"),
+    "madv-values": _madvise_one(ARRAY_VALUES, "values"),
+    "madv-property": _madvise_one(ARRAY_PROPERTY, "property"),
+    "dbg": Policy(
+        name="dbg",
+        thp_factory=ThpPolicy.never,
+        plan=PlacementPlan(reorder="dbg", label="dbg"),
+    ),
+    "dbg+thp": Policy(
+        name="dbg+thp",
+        thp_factory=ThpPolicy.always,
+        plan=PlacementPlan(reorder="dbg", label="dbg+thp"),
+    ),
+}
+"""Registry of the paper's fixed policies."""
+
+
+def selective_policy(
+    fraction: float, reorder: str = "dbg"
+) -> Policy:
+    """Selective THP: madvise the leading ``fraction`` of the property
+    array on a (optionally DBG-reordered) graph, property-first order."""
+    plan = selective_property_plan(fraction, reorder=reorder)
+    return Policy(
+        name=plan.label,
+        thp_factory=ThpPolicy.madvise,
+        plan=plan,
+    )
+
+
+def hugetlb_policy(fraction: float = 1.0, reorder: str = "dbg") -> Policy:
+    """Explicit hugetlbfs reservation for the leading ``fraction`` of
+    the property array, reserved at boot time (§2.3's alternative to
+    THP).  THP stays off: every other array uses base pages."""
+    return Policy(
+        name=f"hugetlb(s={fraction:.0%},{reorder})",
+        thp_factory=ThpPolicy.never,
+        plan=PlacementPlan(
+            order=AllocationOrder.PROPERTY_FIRST,
+            hugetlb_fractions={ARRAY_PROPERTY: fraction},
+            reorder=reorder,
+            label=f"hugetlb(s={fraction:.0%},{reorder})",
+        ),
+    )
+
+
+def utilization_manager_policy(
+    threshold: float = 0.9, promotions_per_pass: int = 8
+) -> Policy:
+    """Ingens-style kernel heuristic: THP off at fault time, run-time
+    promotion of well-utilized regions in address order."""
+    return Policy(
+        name=f"ingens(u={threshold:.0%})",
+        thp_factory=lambda: ThpPolicy(
+            mode=ThpMode.ALWAYS, fault_alloc=False,
+            khugepaged_enabled=False,
+        ),
+        plan=PlacementPlan(label=f"ingens(u={threshold:.0%})"),
+        manager_factory=lambda: UtilizationManager(
+            utilization_threshold=threshold,
+            promotions_per_pass=promotions_per_pass,
+        ),
+    )
+
+
+def hotness_manager_policy(promotions_per_pass: int = 8) -> Policy:
+    """HawkEye-style kernel heuristic: run-time promotion of the
+    hottest regions first (exact access counts — a best-case signal)."""
+    return Policy(
+        name="hawkeye",
+        thp_factory=lambda: ThpPolicy(
+            mode=ThpMode.ALWAYS, fault_alloc=False,
+            khugepaged_enabled=False,
+        ),
+        plan=PlacementPlan(label="hawkeye"),
+        manager_factory=lambda: HotnessManager(
+            promotions_per_pass=promotions_per_pass
+        ),
+    )
+
+
+def autotuner_policy(
+    coverage_target: float = 0.85, max_chunks: Optional[int] = None
+) -> Policy:
+    """The paper's future-work runtime: profile one iteration, then
+    promote the hot prefix of the per-vertex arrays (application
+    knowledge + runtime tracking, no preprocessing)."""
+    return Policy(
+        name=f"autotuner(c={coverage_target:.0%})",
+        thp_factory=lambda: ThpPolicy(
+            mode=ThpMode.ALWAYS, fault_alloc=False,
+            khugepaged_enabled=False,
+        ),
+        plan=PlacementPlan(label=f"autotuner(c={coverage_target:.0%})"),
+        manager_factory=lambda: OnlineAdvisor(
+            coverage_target=coverage_target, max_chunks=max_chunks
+        ),
+    )
+
+
+def get_policy(name: str) -> Policy:
+    """Look up a fixed policy by name.
+
+    Raises:
+        KeyError: if the name is unknown (selective policies are built
+        with :func:`selective_policy`, not looked up).
+    """
+    return POLICIES[name]

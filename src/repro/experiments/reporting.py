@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment results.
+
+The paper's artifact scripts emit text tables per experiment; these
+helpers render the same kind of output from the harness's row dicts, so
+benchmark runs print the rows a reader can compare against the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict[str, Any]],
+    columns: Optional[list[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        rows: dictionaries sharing (a superset of) the same keys.
+        columns: column order; defaults to the first row's keys.
+        title: optional heading line.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        )
+    return "\n".join(lines)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-configuration aggregate)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

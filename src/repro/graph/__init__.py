@@ -1,0 +1,48 @@
+"""Graph substrate: CSR storage, generators, reordering, datasets.
+
+- :mod:`repro.graph.csr` — the Compressed Sparse Row structure of §2.1.1
+  (vertex array, edge array, optional values array).
+- :mod:`repro.graph.generators` — synthetic networks standing in for the
+  paper's inputs: Kronecker/R-MAT plus power-law social/web/wiki
+  analogues with controllable community structure.
+- :mod:`repro.graph.reorder` — Degree-Based Grouping (DBG, §5.1.2) and
+  baseline orderings.
+- :mod:`repro.graph.datasets` — the Table 2 dataset registry at simulator
+  scale.
+- :mod:`repro.graph.io` — (de)serialization, including the on-disk sizes
+  that drive the page-cache interference model.
+"""
+
+from .csr import CsrGraph, concat_ranges
+from .generators import rmat_graph, power_law_graph, uniform_graph
+from .reorder import (
+    dbg_order,
+    degree_sort_order,
+    identity_order,
+    random_order,
+    apply_order,
+    DBG_DEFAULT_THRESHOLDS,
+)
+from .datasets import Dataset, DATASETS, load_dataset, dataset_names
+from .stats import DegreeStats, degree_stats, gini_coefficient
+
+__all__ = [
+    "CsrGraph",
+    "DATASETS",
+    "DBG_DEFAULT_THRESHOLDS",
+    "Dataset",
+    "DegreeStats",
+    "apply_order",
+    "degree_stats",
+    "gini_coefficient",
+    "concat_ranges",
+    "dataset_names",
+    "dbg_order",
+    "degree_sort_order",
+    "identity_order",
+    "load_dataset",
+    "power_law_graph",
+    "random_order",
+    "rmat_graph",
+    "uniform_graph",
+]

@@ -1,0 +1,193 @@
+"""The Table 2 dataset registry at simulator scale.
+
+The paper's four inputs, scaled by ~3 orders of magnitude so that a
+cycle-accurate Python TLB simulation stays tractable while the
+footprint-to-TLB-coverage ratios of the SCALED machine profile match the
+paper's regime (DESIGN.md §3):
+
+=============  ==================  =========  ==========  ===============
+Paper input    This registry       Vertices   Edges       Character
+=============  ==================  =========  ==========  ===============
+Kronecker25    ``kron-s``          131,072    1,048,576   synthetic power
+                                                          law, shuffled
+                                                          labels (no id
+                                                          locality)
+Twitter        ``twitter-s``       131,072    1,572,864   heavy hub skew,
+                                                          natural hub
+                                                          proximity
+Sd1 Arc        ``web-s``           163,840    1,638,400   strong community
+                                                          blocks
+Wikipedia      ``wiki-s``          65,536     786,432     moderate skew +
+                                                          community
+=============  ==================  =========  ==========  ===============
+
+Every dataset is deterministic (fixed seed) and cached in-process, since
+experiments reuse the same input across dozens of cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DatasetError
+from .csr import CsrGraph
+from .generators import power_law_graph, rmat_graph, uniform_graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one named dataset."""
+
+    name: str
+    paper_name: str
+    description: str
+    build: Callable[[bool], CsrGraph]
+    """Factory taking ``weighted`` and returning the graph."""
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A materialized dataset: graph plus registry metadata."""
+
+    name: str
+    paper_name: str
+    description: str
+    graph: CsrGraph
+
+
+def _kron(weighted: bool) -> CsrGraph:
+    return rmat_graph(
+        scale=17,
+        num_edges=1_048_576,
+        seed=25,
+        shuffle_labels=True,
+        weighted=weighted,
+    )
+
+
+def _twitter(weighted: bool) -> CsrGraph:
+    return power_law_graph(
+        num_vertices=131_072,
+        num_edges=1_572_864,
+        alpha=0.8,
+        community_fraction=0.25,
+        community_size=4096,
+        hub_shuffle=0.1,
+        seed=61,
+        weighted=weighted,
+    )
+
+
+def _web(weighted: bool) -> CsrGraph:
+    return power_law_graph(
+        num_vertices=163_840,
+        num_edges=1_638_400,
+        alpha=0.75,
+        community_fraction=0.5,
+        community_size=2048,
+        hub_shuffle=0.15,
+        seed=95,
+        weighted=weighted,
+    )
+
+
+def _wiki(weighted: bool) -> CsrGraph:
+    return power_law_graph(
+        num_vertices=65_536,
+        num_edges=786_432,
+        alpha=0.8,
+        community_fraction=0.3,
+        community_size=2048,
+        hub_shuffle=0.1,
+        seed=12,
+        weighted=weighted,
+    )
+
+
+def _test_small(weighted: bool) -> CsrGraph:
+    return uniform_graph(num_vertices=512, num_edges=4096, seed=7,
+                         weighted=weighted)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "kron-s": DatasetSpec(
+        "kron-s",
+        "Kronecker25 (Kr25)",
+        "Graph500 R-MAT, labels shuffled: power law, no id locality",
+        _kron,
+    ),
+    "twitter-s": DatasetSpec(
+        "twitter-s",
+        "Twitter (Twit)",
+        "social network: heavy hub skew, hubs at nearby ids",
+        _twitter,
+    ),
+    "web-s": DatasetSpec(
+        "web-s",
+        "Sd1 Arc (Web)",
+        "web crawl: strong community blocks, per-block hubs",
+        _web,
+    ),
+    "wiki-s": DatasetSpec(
+        "wiki-s",
+        "Wikipedia (Wiki)",
+        "link graph: moderate skew and community structure",
+        _wiki,
+    ),
+    "test-small": DatasetSpec(
+        "test-small",
+        "(test only)",
+        "512-vertex uniform graph for fast tests",
+        _test_small,
+    ),
+}
+
+EVALUATION_DATASETS = ("kron-s", "twitter-s", "web-s", "wiki-s")
+"""The Table 2 inputs, in the paper's presentation order."""
+
+PAPER_NAME_ALIASES = {
+    "kr25": "kron-s",
+    "kronecker25": "kron-s",
+    "twit": "twitter-s",
+    "twitter": "twitter-s",
+    "web": "web-s",
+    "sd1arc": "web-s",
+    "wiki": "wiki-s",
+    "wikipedia": "wiki-s",
+}
+"""Paper shorthand -> registry key."""
+
+_CACHE: dict[tuple[str, bool], Dataset] = {}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """All registered dataset names."""
+    return tuple(DATASETS)
+
+
+def load_dataset(name: str, weighted: bool = False) -> Dataset:
+    """Materialize a dataset by name (paper aliases accepted).
+
+    Results are cached per (name, weighted); the returned graph is shared,
+    so callers must not mutate it.
+
+    Raises:
+        DatasetError: if the name is unknown.
+    """
+    key = PAPER_NAME_ALIASES.get(name.lower().replace(" ", ""), name)
+    spec = DATASETS.get(key)
+    if spec is None:
+        known = ", ".join(sorted(DATASETS))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}")
+    cache_key = (key, weighted)
+    if cache_key not in _CACHE:
+        _CACHE[cache_key] = Dataset(
+            spec.name, spec.paper_name, spec.description, spec.build(weighted)
+        )
+    return _CACHE[cache_key]
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached datasets (tests use this to bound memory)."""
+    _CACHE.clear()

@@ -1,0 +1,162 @@
+"""Vertex reordering: Degree-Based Grouping and baselines (paper §5.1.2).
+
+DBG (Faldu et al., IISWC'19) coarsely sorts vertices into 8 hotness bins
+by degree, with minimum degrees ``32d, 16d, 8d, 4d, 2d, d, 0.5d, 0`` where
+``d`` is the network's average degree.  Within a bin the original order is
+preserved ("the order in which vertices are arranged within each bin does
+not matter" — we keep it stable, which preserves community structure, the
+property that makes DBG *lightweight*).  The result: hot vertices occupy
+a dense prefix of the id space, so a handful of huge pages covers the
+entire hot working set of the property array.
+
+All functions return a permutation ``perm`` with ``perm[old_id] ==
+new_id``; apply it with :func:`apply_order` /
+:meth:`repro.graph.csr.CsrGraph.relabel`.
+
+The module also reports the three linear traversals DBG costs (degree
+count, binning, remap) so the preprocessing-overhead analysis of §5.1.2
+can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CsrGraph
+
+DBG_DEFAULT_THRESHOLDS = (32.0, 16.0, 8.0, 4.0, 2.0, 1.0, 0.5, 0.0)
+"""Bin floors as multiples of the average degree (hottest first)."""
+
+
+@dataclass(frozen=True)
+class ReorderCost:
+    """Work accounting for a preprocessing pass.
+
+    DBG touches each vertex a constant number of times; the paper counts
+    three vertex-linear traversals versus the algorithm's edge-linear
+    work, which is why DBG overhead is small (§5.1.2).
+    """
+
+    vertex_traversals: int
+    edge_traversals: int
+
+    def accesses(self, num_vertices: int, num_edges: int) -> int:
+        """Total array elements touched by the preprocessing."""
+        return (
+            self.vertex_traversals * num_vertices
+            + self.edge_traversals * num_edges
+        )
+
+
+DBG_COST = ReorderCost(vertex_traversals=3, edge_traversals=0)
+"""DBG's cost: 3 vertex-linear traversals (degrees already available in
+CSR, so no edge traversal is charged; loading degrees from an edge list
+would add one edge traversal)."""
+
+
+def dbg_order(
+    graph: CsrGraph,
+    thresholds: tuple[float, ...] = DBG_DEFAULT_THRESHOLDS,
+    use_in_degree: bool = True,
+) -> np.ndarray:
+    """Degree-Based Grouping permutation.
+
+    Args:
+        graph: the network to reorder.
+        thresholds: bin floors as multiples of the average degree,
+            hottest bin first, last entry must be 0 (the catch-all bin
+            that holds the power-law tail).
+        use_in_degree: bin by in-degree (default) — in push-based kernels
+            the property array is written once per *incoming* edge, so
+            in-degree is the property-access frequency (§3.2).  Set False
+            to bin by out-degree.
+
+    Returns:
+        ``perm`` with ``perm[old_id] == new_id``; hot vertices get the
+        lowest new ids.
+    """
+    if not thresholds or thresholds[-1] != 0.0:
+        raise GraphError("thresholds must end with the catch-all bin (0)")
+    if any(
+        thresholds[i] <= thresholds[i + 1] for i in range(len(thresholds) - 1)
+    ):
+        raise GraphError("thresholds must be strictly decreasing")
+    degrees = (
+        graph.in_degrees() if use_in_degree else graph.out_degrees()
+    ).astype(np.float64)
+    avg = graph.average_degree
+    floors = np.array(thresholds, dtype=np.float64) * avg
+    bins = _bin_by_degree(degrees, floors)
+    # Stable sort by bin keeps the original relative order inside a bin.
+    order = np.argsort(bins, kind="stable")
+    perm = np.empty(graph.num_vertices, dtype=np.int64)
+    perm[order] = np.arange(graph.num_vertices, dtype=np.int64)
+    return perm
+
+
+def dbg_bin_sizes(
+    graph: CsrGraph,
+    thresholds: tuple[float, ...] = DBG_DEFAULT_THRESHOLDS,
+    use_in_degree: bool = True,
+) -> np.ndarray:
+    """Vertices per DBG bin (hottest first) — the power-law check that
+    "a majority of vertices occupy the last bin"."""
+    degrees = (
+        graph.in_degrees() if use_in_degree else graph.out_degrees()
+    ).astype(np.float64)
+    floors = np.array(thresholds, dtype=np.float64) * graph.average_degree
+    bins = _bin_by_degree(degrees, floors)
+    return np.bincount(bins, minlength=len(floors))
+
+
+def _bin_by_degree(degrees: np.ndarray, floors: np.ndarray) -> np.ndarray:
+    """Bin index per vertex: the first (hottest) bin whose floor the
+    degree meets.  ``floors`` is descending and ends at 0, so every
+    vertex lands somewhere; bin 0 is the hottest."""
+    # searchsorted needs ascending order: count floors <= degree against
+    # the reversed array, then flip back.  Equality goes to the hotter
+    # bin ("degree greater than or equal to" the floor).
+    at_or_below = np.searchsorted(floors[::-1], degrees, side="right")
+    return (len(floors) - at_or_below).clip(0, len(floors) - 1)
+
+
+def degree_sort_order(
+    graph: CsrGraph, use_in_degree: bool = True
+) -> np.ndarray:
+    """Full descending degree sort — the heavyweight alternative DBG
+    approximates.  Maximizes hot-prefix density but destroys community
+    structure entirely (§6, Graph Sorting)."""
+    degrees = graph.in_degrees() if use_in_degree else graph.out_degrees()
+    order = np.argsort(-degrees, kind="stable")
+    perm = np.empty(graph.num_vertices, dtype=np.int64)
+    perm[order] = np.arange(graph.num_vertices, dtype=np.int64)
+    return perm
+
+
+def random_order(graph: CsrGraph, seed: int = 0) -> np.ndarray:
+    """A random permutation — the adversarial baseline that scatters hot
+    vertices across the whole address range."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.num_vertices).astype(np.int64)
+
+
+def identity_order(graph: CsrGraph) -> np.ndarray:
+    """The no-op permutation (original crawl order)."""
+    return np.arange(graph.num_vertices, dtype=np.int64)
+
+
+def apply_order(graph: CsrGraph, perm: np.ndarray) -> CsrGraph:
+    """Relabel ``graph`` under ``perm`` (see :meth:`CsrGraph.relabel`)."""
+    return graph.relabel(perm)
+
+
+ORDERINGS = {
+    "original": lambda g: identity_order(g),
+    "dbg": lambda g: dbg_order(g),
+    "degree-sort": lambda g: degree_sort_order(g),
+    "random": lambda g: random_order(g),
+}
+"""Named ordering strategies for experiment configuration."""

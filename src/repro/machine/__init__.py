@@ -1,0 +1,16 @@
+"""The simulated machine: process, translation, metrics, orchestration.
+
+- :mod:`repro.machine.process` — maps a workload's arrays into simulated
+  virtual memory and translates access streams into TLB traces.
+- :mod:`repro.machine.machine` — :class:`Machine`: physical memory, page
+  cache, swap, THP policy and the TLB hierarchy, with the run loop that
+  produces :class:`~repro.machine.metrics.RunMetrics`.
+- :mod:`repro.machine.metrics` — per-run measurements (the paper's
+  outputs: runtime, TLB miss rates, page walk rates, huge page usage).
+"""
+
+from .machine import Machine
+from .metrics import RunMetrics
+from .process import SimProcess
+
+__all__ = ["Machine", "RunMetrics", "SimProcess"]

@@ -1,0 +1,261 @@
+"""The simulated evaluation machine (paper Table 1, §3.1).
+
+A :class:`Machine` bundles the substrates — physical memory across NUMA
+nodes, page cache, swap device, THP policy, TLB hierarchy — and runs
+instrumented workloads through them, producing
+:class:`~repro.machine.metrics.RunMetrics`.
+
+Mirroring the paper's methodology, the application is bound to one NUMA
+node (``membind``); graph input files can be staged through the page
+cache either on the application's node (the interfering default) or on
+the remote node via tmpfs (the paper's mitigation).  Scenario state —
+memory pressure (memhog), fragmentation (frag), background noise — is
+applied by the experiment harness through the setup helpers before
+:meth:`Machine.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import MachineConfig, scaled
+from ..core.plan import PlacementPlan
+from ..mem.frag import Fragmenter
+from ..mem.heuristics import HugePageManager
+from ..mem.memhog import Memhog
+from ..mem.noise import BackgroundNoise
+from ..mem.page_cache import PageCache
+from ..mem.physical import PhysicalMemory
+from ..mem.profiler import PageProfiler
+from ..mem.swap import SwapDevice
+from ..mem.thp import ThpPolicy
+from ..mem.vmm import VirtualMemoryManager
+from ..tlb.hierarchy import TranslationHierarchy, TranslationStats
+from ..workloads.base import ARRAY_NAMES, Workload
+from ..workloads.layout import MemoryLayout
+from .metrics import RunMetrics
+from .process import SimProcess
+
+INPUT_FILE = "graph-input"
+"""Name under which the workload's input file is cached."""
+
+
+class Machine:
+    """A two-node machine running one graph workload at a time."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        thp: Optional[ThpPolicy] = None,
+    ) -> None:
+        self.config = config if config is not None else scaled()
+        self.thp = thp if thp is not None else ThpPolicy.never()
+        self.physical = PhysicalMemory(self.config)
+        self.page_cache = PageCache(self.physical.nodes)
+        self.swap = SwapDevice()
+        self.hugetlb_pool = None
+        # The application binds to the last node; node 0 is "remote"
+        # (where tmpfs-staged input lives in the paper's setup).
+        self.app_node_id = self.config.num_nodes - 1
+        self.remote_node_id = 0
+
+    @property
+    def app_node(self):
+        """Frame map of the node the application is bound to."""
+        return self.physical.node(self.app_node_id)
+
+    # ------------------------------------------------------------------
+    # Scenario setup helpers (used by the experiment harness)
+    # ------------------------------------------------------------------
+
+    def memhog_leave_free(self, free_bytes: int) -> Memhog:
+        """Pin all but ``free_bytes`` of the app node (memhog + mlock)."""
+        hog = Memhog(self.app_node)
+        hog.leave_free_bytes(free_bytes)
+        return hog
+
+    def fragment(self, level: float) -> Fragmenter:
+        """Fragment ``level`` of the app node's free memory with
+        non-movable sentinel pages (the paper's ``frag`` tool)."""
+        frag = Fragmenter(self.app_node)
+        frag.fragment(level)
+        return frag
+
+    def reserve_hugetlb(self, num_regions: int) -> int:
+        """Boot-time hugetlbfs reservation on the app node (must run
+        *before* pressure/fragmentation setup to model
+        ``vm.nr_hugepages`` at boot).  Returns regions reserved."""
+        from ..mem.hugetlb import HugetlbPool
+
+        if self.hugetlb_pool is None:
+            self.hugetlb_pool = HugetlbPool(self.app_node)
+        return self.hugetlb_pool.reserve(num_regions)
+
+    def scatter_noise(
+        self, nonmovable_bytes: int = 0, movable_bytes: int = 0, seed: int = 0
+    ) -> BackgroundNoise:
+        """Plant long-running-system background noise on the app node."""
+        noise = BackgroundNoise(self.app_node)
+        noise.scatter(nonmovable_bytes, movable_bytes, seed=seed)
+        return noise
+
+    def finish_setup(self) -> None:
+        """Mark the end of scenario setup: kernel work done so far (by
+        memhog/frag/noise) is not charged to the measured run."""
+        self.physical.reset_ledger()
+        self.swap.reset()
+
+    # ------------------------------------------------------------------
+    # The measured run
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        plan: Optional[PlacementPlan] = None,
+        load_bytes: int = 0,
+        tmpfs_remote: bool = True,
+        drop_cache_after_load: bool = False,
+        preprocess_accesses: int = 0,
+        dataset: str = "",
+        manager: Optional[HugePageManager] = None,
+    ) -> RunMetrics:
+        """Execute one workload end to end and measure it.
+
+        Phases, matching the paper's application structure (Fig. 4):
+
+        1. *Load*: stage ``load_bytes`` of input through the page cache —
+           on the remote node when ``tmpfs_remote`` (the paper's
+           interference-free methodology) or on the application's node
+           (the realistic default the paper warns about).
+        2. *Initialize*: map and first-touch every array in the plan's
+           allocation order; the THP policy allocates huge pages at fault
+           time as eligibility and physical contiguity allow, then a
+           khugepaged pass promotes what the fault path missed.
+        3. *Compute*: run the kernel, translating its access streams
+           through the TLB hierarchy and servicing swap faults if memory
+           was oversubscribed.  When a :class:`HugePageManager` is
+           supplied, it observes each iteration's trace through a
+           :class:`PageProfiler` and may promote/demote between
+           iterations (khugepaged-style asynchrony); its work is charged
+           to kernel time and promotions shoot down the TLB.
+
+        The returned metrics charge phases separately; kernel-time
+        speedups between runs reproduce the paper's figures.
+        """
+        if plan is None:
+            plan = PlacementPlan.none()
+        ledger = self.physical.ledger
+        init_start_cycles = ledger.total_cycles
+
+        # Phase 1: load.
+        if load_bytes:
+            cache_node = (
+                self.remote_node_id if tmpfs_remote else self.app_node_id
+            )
+            self.page_cache.read_file(INPUT_FILE, load_bytes, cache_node)
+
+        # Phase 2: initialize.
+        vmm = VirtualMemoryManager(self.app_node, self.thp, self.config)
+        if self.config.swap_enabled:
+            vmm.swap_device = self.swap
+        layout = MemoryLayout(workload, plan.order)
+        process = SimProcess(vmm, workload, layout, self.config)
+        process.allocate_and_touch(plan, hugetlb_pool=self.hugetlb_pool)
+        vmm.khugepaged_pass()
+        if drop_cache_after_load:
+            self.page_cache.evict_file(INPUT_FILE)
+        init_kernel = ledger.snapshot()
+        init_counts = dict(ledger.counts)
+        init_cycle_counts = dict(ledger.cycles)
+        init_cycles = ledger.total_cycles - init_start_cycles
+
+        # Phase 3: compute.
+        hierarchy = TranslationHierarchy(self.config.tlb)
+        stats = TranslationStats()
+        compute_start_cycles = ledger.total_cycles
+        swap_ins = 0
+        swap_outs = 0
+        check_swap = process.has_swapped_pages()
+        profiler: Optional[PageProfiler] = None
+        if manager is not None:
+            profiler = PageProfiler(self.config)
+            for vma in process.vma_by_array.values():
+                profiler.track(vma)
+            manager.attach(process, profiler, self.config)
+        for stream in workload.run():
+            trace = process.translate(stream)
+            if check_swap:
+                ins, outs = process.service_swap(trace)
+                swap_ins += ins
+                swap_outs += outs
+            hierarchy.simulate(trace, stats)
+            if manager is not None and profiler is not None:
+                profiler.observe(trace, process.vma_by_array)
+                if manager.on_iteration():
+                    # Promotions rewrite page tables: full shootdown.
+                    hierarchy.flush()
+        kernel_stall_cycles = ledger.total_cycles - compute_start_cycles
+
+        cost = self.config.cost
+        compute_cycles = int(
+            stats.total_accesses * cost.mem_access
+            + stats.translation_cycles(cost)
+            + kernel_stall_cycles
+        )
+        preprocess_cycles = int(preprocess_accesses * cost.mem_access)
+
+        metrics = RunMetrics(
+            workload=workload.name,
+            policy_label=plan.label,
+            dataset=dataset,
+            translation=stats,
+            array_names={
+                array_id: ARRAY_NAMES[array_id]
+                for array_id in workload.array_ids()
+            },
+            compute_cycles=compute_cycles,
+            init_cycles=init_cycles,
+            preprocess_cycles=preprocess_cycles,
+            init_kernel=init_kernel,
+            compute_kernel={
+                "counts": {
+                    k: v - init_counts.get(k, 0)
+                    for k, v in ledger.counts.items()
+                    if v - init_counts.get(k, 0)
+                },
+                "cycles": {
+                    k: v - init_cycle_counts.get(k, 0)
+                    for k, v in ledger.cycles.items()
+                    if v - init_cycle_counts.get(k, 0)
+                },
+            },
+            swap_ins=swap_ins,
+            swap_outs=swap_outs,
+            footprint_bytes=process.footprint_bytes(),
+            huge_bytes=process.total_huge_bytes(),
+            huge_fraction_per_array=process.huge_fraction_per_array(),
+            manager_promotions=(
+                manager.total_promotions if manager is not None else 0
+            ),
+            manager_demotions=(
+                manager.total_demotions if manager is not None else 0
+            ),
+        )
+
+        # Restore machine state so further runs see the same scenario.
+        process.release()
+        self.page_cache.evict_file(INPUT_FILE)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        """Free memory on the application's node."""
+        return self.app_node.free_bytes
+
+    def fragmentation_level(self) -> float:
+        """Current fragmentation of the app node's free memory."""
+        return self.app_node.fragmentation_level()

@@ -1,0 +1,206 @@
+"""Simulated process: array mapping and address translation.
+
+:class:`SimProcess` owns the binding between a workload's logical arrays
+and the VMAs backing them, translates logical access streams into
+page-granular TLB traces, and services swap faults during the compute
+phase when memory is oversubscribed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..core.plan import PlacementPlan
+from ..mem.thp import ThpMode
+from ..mem.vmm import VirtualMemoryManager, Vma
+from ..tlb.trace import AccessStream, TlbTrace, compress_trace
+from ..workloads.base import Workload
+from ..workloads.layout import MemoryLayout
+
+
+class SimProcess:
+    """One workload's address-space state on a machine."""
+
+    def __init__(
+        self,
+        vmm: VirtualMemoryManager,
+        workload: Workload,
+        layout: MemoryLayout,
+        config: MachineConfig,
+    ) -> None:
+        self.vmm = vmm
+        self.workload = workload
+        self.layout = layout
+        self.config = config
+        self.vma_by_array: dict[int, Vma] = {}
+        self._start_vpn: dict[int, int] = {}
+        self._start_hvpn: dict[int, int] = {}
+        self._elem_bytes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Initialization phase
+    # ------------------------------------------------------------------
+
+    def allocate_and_touch(
+        self, plan: PlacementPlan, hugetlb_pool=None
+    ) -> None:
+        """Map and first-touch every array in the layout's order.
+
+        ``madvise`` advice from the plan is applied *before* touching (as
+        a programmer would), so fault-time THP allocation sees it.  Advice
+        only matters when the THP mode is ``madvise``; under ``always``
+        every eligible chunk is huge-candidate regardless.
+
+        Arrays with a ``hugetlb_fractions`` entry have their leading
+        chunks mapped from the boot-time reservation pool first (the
+        explicit hugetlbfs mmap), with the remainder demand-faulted as
+        usual.
+        """
+        pages = self.config.pages
+        for spec in self.layout.allocation_sequence():
+            vma = self.vmm.mmap(spec.name, spec.length_bytes)
+            pool_fraction = plan.hugetlb_fractions.get(spec.array_id)
+            if pool_fraction is not None and hugetlb_pool is not None:
+                self._back_from_pool(vma, pool_fraction, hugetlb_pool)
+            fraction = plan.advise_fractions.get(spec.array_id)
+            if fraction is not None and self.vmm.policy.mode is ThpMode.MADVISE:
+                advise_len = max(1, int(spec.length_bytes * fraction))
+                self.vmm.madvise_huge(vma, 0, advise_len)
+            self.vmm.touch(vma)
+            self.vma_by_array[spec.array_id] = vma
+            self._start_vpn[spec.array_id] = vma.start >> pages.base_shift
+            self._start_hvpn[spec.array_id] = vma.start >> pages.huge_shift
+            self._elem_bytes[spec.array_id] = spec.element_bytes
+
+    def _back_from_pool(self, vma, fraction: float, pool) -> None:
+        """Map the leading ``fraction`` of a VMA from the reservation."""
+        huge = self.config.pages.huge_page_size
+        want_bytes = max(1, int(vma.length * fraction))
+        want_chunks = -(-want_bytes // huge)
+        for chunk in range(min(want_chunks, vma.nchunks)):
+            if not vma.chunk_is_full(chunk) or pool.available == 0:
+                break
+            self.vmm.back_chunk_from_pool(vma, chunk, pool)
+
+    def release(self) -> None:
+        """Unmap every array (end of run), freeing physical memory."""
+        for vma in list(self.vma_by_array.values()):
+            self.vmm.unmap(vma)
+        self.vma_by_array.clear()
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def translate(self, stream: AccessStream) -> TlbTrace:
+        """Turn a logical access stream into a compressed TLB trace.
+
+        Page keys follow :mod:`repro.tlb.trace`: base-page accesses get
+        ``(vpn << 1)``, accesses landing in huge-mapped pages get
+        ``(huge_vpn << 1) | 1``.  The per-page size map is the VMM's
+        ground truth, so promotions/demotions between streams are
+        reflected automatically.
+        """
+        pages = self.config.pages
+        base_shift = pages.base_shift
+        huge_shift = pages.huge_shift
+        aids = stream.array_ids
+        keys = np.empty(aids.size, dtype=np.int64)
+        for array_id in np.unique(aids):
+            array_id = int(array_id)
+            mask = aids == array_id
+            vma = self.vma_by_array[array_id]
+            offsets = stream.indices[mask] * self._elem_bytes[array_id]
+            page = offsets >> base_shift
+            base_keys = (self._start_vpn[array_id] + page) << 1
+            huge_keys = (
+                (self._start_hvpn[array_id] + (offsets >> huge_shift)) << 1
+            ) | 1
+            keys[mask] = np.where(vma.is_huge[page], huge_keys, base_keys)
+        return compress_trace(keys, aids)
+
+    # ------------------------------------------------------------------
+    # Swap servicing (oversubscribed memory)
+    # ------------------------------------------------------------------
+
+    def has_swapped_pages(self) -> bool:
+        """Whether any mapped page currently lives on the swap device."""
+        return any(
+            vma.swapped_pages > 0 for vma in self.vma_by_array.values()
+        )
+
+    def service_swap(self, trace: TlbTrace) -> tuple[int, int]:
+        """Simulate demand paging over a trace under oversubscription.
+
+        Maintains a FIFO residency set sized by the pages that are
+        resident at trace start; every access to a non-resident base page
+        swaps it in and evicts the FIFO head (a frame-for-frame exchange —
+        the steady state of a thrashing system).  Charges swap I/O and
+        fault costs to the kernel ledger and returns ``(swap_ins,
+        swap_outs)``.
+
+        Residency is tracked per call; the VMM's page tables are not
+        rewritten (the run's translation behaviour is unaffected: vpns do
+        not change when a page moves between RAM and swap).
+        """
+        resident: dict[int, list[bool]] = {}
+        start_vpn = self._start_vpn
+        fifo: deque[tuple[int, int]] = deque()
+        for array_id, vma in self.vma_by_array.items():
+            flags = (vma.frame >= 0).tolist()
+            resident[array_id] = flags
+            for page, is_resident in enumerate(flags):
+                if is_resident and not vma.is_huge[page]:
+                    fifo.append((array_id, page))
+        swap_ins = 0
+        keys = trace.keys.tolist()
+        aids = trace.array_ids.tolist()
+        for key, array_id in zip(keys, aids):
+            if key & 1:
+                continue  # huge-mapped pages were never swapped out
+            page = (key >> 1) - start_vpn[array_id]
+            flags = resident[array_id]
+            if flags[page]:
+                continue
+            # Exchange: evict the FIFO head, reuse its frame.
+            while True:
+                victim_aid, victim_page = fifo.popleft()
+                if resident[victim_aid][victim_page]:
+                    break
+            resident[victim_aid][victim_page] = False
+            flags[page] = True
+            fifo.append((array_id, page))
+            swap_ins += 1
+        if swap_ins:
+            ledger = self.vmm.node.ledger
+            ledger.swap_in(swap_ins)
+            ledger.swap_out(swap_ins)
+            ledger.minor_fault(swap_ins)
+            if self.vmm.swap_device is not None:
+                self.vmm.swap_device.page_in(swap_ins)
+                self.vmm.swap_device.page_out(swap_ins)
+        return swap_ins, swap_ins
+
+    # ------------------------------------------------------------------
+    # Huge-page census
+    # ------------------------------------------------------------------
+
+    def huge_fraction_per_array(self) -> dict[str, float]:
+        """Huge-page-backed fraction of each array (Fig. 6's outcome)."""
+        return {
+            vma.name: vma.huge_backed_fraction
+            for vma in self.vma_by_array.values()
+        }
+
+    def total_huge_bytes(self) -> int:
+        """Bytes of the workload's footprint backed by huge pages."""
+        return sum(
+            vma.huge_backed_bytes for vma in self.vma_by_array.values()
+        )
+
+    def footprint_bytes(self) -> int:
+        """The workload's working-set size."""
+        return self.layout.total_bytes

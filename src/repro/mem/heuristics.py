@@ -1,0 +1,174 @@
+"""Heuristic huge-page managers: the state-of-the-art baselines.
+
+The paper's related-work section (§6) contrasts its programmer-guided
+approach with kernel-side heuristic managers:
+
+- **Ingens-style** (`UtilizationManager`): promote a region once enough
+  of its base pages have been touched (a utilization threshold), in
+  address order, rate-limited per pass.  Utilization says nothing about
+  *access frequency*, which is why it spends huge pages on the
+  sequentially-touched CSR arrays as readily as on the hot property
+  array.
+- **HawkEye-style** (`HotnessManager`): rank candidate regions by
+  observed access counts and promote the hottest first, rate-limited
+  per pass.  With an exact access signal this is the strongest
+  app-unaware policy — it converges on the property array, but only
+  after paying profiling latency and promotion copies at run time,
+  whereas the programmer-guided plan had the huge pages in place at
+  initialization.
+
+Managers run between workload iterations (the paper's khugepaged-like
+asynchrony): the machine calls :meth:`HugePageManager.on_iteration`
+after each simulated access stream, and promotions invalidate the TLB.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol
+
+import numpy as np
+
+from ..config import MachineConfig
+from .profiler import PageProfiler
+from .vmm import Vma, VirtualMemoryManager
+
+
+class ManagedProcess(Protocol):
+    """What a manager needs to see of the running process (duck-typed to
+    avoid a dependency cycle with :mod:`repro.machine.process`)."""
+
+    vmm: VirtualMemoryManager
+    vma_by_array: dict[int, Vma]
+
+
+class HugePageManager(ABC):
+    """Interface for run-time huge-page management policies."""
+
+    def __init__(self, promotions_per_pass: int = 8) -> None:
+        self.promotions_per_pass = promotions_per_pass
+        self.total_promotions = 0
+        self.total_demotions = 0
+
+    def attach(
+        self,
+        process: ManagedProcess,
+        profiler: PageProfiler,
+        config: MachineConfig,
+    ) -> None:
+        """Bind to a process at the start of its run."""
+        self.process = process
+        self.vmm = process.vmm
+        self.profiler = profiler
+        self.config = config
+
+    @abstractmethod
+    def candidate_chunks(self, vma: Vma) -> np.ndarray:
+        """Chunk indices to consider for promotion, in policy order."""
+
+    def on_iteration(self) -> int:
+        """One management pass; returns the number of promotions.
+
+        Promotes up to ``promotions_per_pass`` eligible chunks across
+        all tracked VMAs, in the policy's preference order, stopping
+        early when huge regions run out.
+        """
+        promoted = 0
+        for vma in list(self.vmm.iter_vmas()):
+            if promoted >= self.promotions_per_pass:
+                break
+            for chunk in self.candidate_chunks(vma):
+                if promoted >= self.promotions_per_pass:
+                    break
+                chunk = int(chunk)
+                if not self._promotable(vma, chunk):
+                    continue
+                if not self.vmm.promote_chunk(vma, chunk):
+                    return promoted  # no regions left anywhere
+                promoted += 1
+                self.total_promotions += 1
+        return promoted
+
+    def _promotable(self, vma: Vma, chunk: int) -> bool:
+        if vma.huge_region[chunk] >= 0:
+            return False
+        if not vma.chunk_is_full(chunk):
+            return False
+        pages = vma.chunk_pages(chunk)
+        return bool((vma.frame[pages] >= 0).all())
+
+
+class UtilizationManager(HugePageManager):
+    """Ingens-style: promote well-utilized regions in address order."""
+
+    def __init__(
+        self,
+        utilization_threshold: float = 0.9,
+        promotions_per_pass: int = 8,
+    ) -> None:
+        super().__init__(promotions_per_pass)
+        self.utilization_threshold = utilization_threshold
+
+    def candidate_chunks(self, vma: Vma) -> np.ndarray:
+        util = self.profiler.chunk_utilization(vma)
+        return np.flatnonzero(util >= self.utilization_threshold)
+
+
+class HotnessManager(HugePageManager):
+    """HawkEye-style: promote the most-accessed regions first."""
+
+    def __init__(
+        self,
+        min_accesses: int = 1,
+        promotions_per_pass: int = 8,
+    ) -> None:
+        super().__init__(promotions_per_pass)
+        self.min_accesses = min_accesses
+
+    def candidate_chunks(self, vma: Vma) -> np.ndarray:
+        counts = self.profiler.chunk_counts(vma)
+        order = self.profiler.hottest_chunks(vma)
+        return order[counts[order] >= self.min_accesses]
+
+    def on_iteration(self) -> int:
+        """Rank across *all* VMAs jointly (HawkEye's global hotness
+        list), then promote the global hottest."""
+        entries: list[tuple[int, Vma, int]] = []
+        for vma in self.vmm.iter_vmas():
+            counts = self.profiler.chunk_counts(vma)
+            for chunk in np.flatnonzero(counts >= self.min_accesses):
+                chunk = int(chunk)
+                if self._promotable(vma, chunk):
+                    entries.append((int(counts[chunk]), vma, chunk))
+        entries.sort(key=lambda item: -item[0])
+        promoted = 0
+        for _, vma, chunk in entries[: self.promotions_per_pass]:
+            if not self.vmm.promote_chunk(vma, chunk):
+                break
+            promoted += 1
+            self.total_promotions += 1
+        return promoted
+
+
+class BloatControlManager(HotnessManager):
+    """HawkEye-style promotion plus bloat control: demote huge pages
+    whose utilization fell below a threshold so their frames can be
+    reclaimed — the memory-bloat mitigation of §6's related work."""
+
+    def __init__(
+        self,
+        min_accesses: int = 1,
+        promotions_per_pass: int = 8,
+        demote_utilization: float = 0.25,
+    ) -> None:
+        super().__init__(min_accesses, promotions_per_pass)
+        self.demote_utilization = demote_utilization
+
+    def on_iteration(self) -> int:
+        for vma in list(self.vmm.iter_vmas()):
+            util = self.profiler.chunk_utilization(vma)
+            demoted = self.vmm.demote_underutilized(
+                vma, util, self.demote_utilization
+            )
+            self.total_demotions += demoted
+        return super().on_iteration()

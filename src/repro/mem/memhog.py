@@ -1,0 +1,73 @@
+"""The paper's memory-pressure tool: ``memhog`` + ``mlock``.
+
+§4.3.1: "*we utilize the memhog program to occupy a specified amount of
+memory M on the same NUMA node as the application ... To prevent the OS
+from swapping out memory allocated by memhog, we use mlock to pin the
+program's memory in physical memory.*"
+
+:class:`Memhog` allocates and pins frames so they can be neither migrated
+by compaction, reclaimed, nor swapped — precisely the residual-pressure
+state the paper's constrained-memory experiments set up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .physical import FrameState, NodeMemory
+
+
+class Memhog:
+    """Occupy and pin a fixed amount of memory on one node."""
+
+    def __init__(self, node: NodeMemory) -> None:
+        self.node = node
+        self.owner_id = node.register_owner(self)
+        self.frames: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def occupy_bytes(self, num_bytes: int) -> int:
+        """Pin ``num_bytes`` of memory; returns the number of frames.
+
+        Frames are taken broken-regions-first so the *remaining* free
+        memory stays as contiguous as possible — matching the paper's
+        setup where memhog runs on an otherwise idle node and the leftover
+        memory is contiguous ("limited but large contiguous chunks are
+        available") until ``frag`` is applied.
+        """
+        if num_bytes < 0:
+            raise ConfigError(f"cannot occupy negative bytes: {num_bytes}")
+        page = self.node.config.pages.base_page_size
+        count = num_bytes // page
+        if count == 0:
+            return 0
+        frames = self.node.alloc_frames(
+            count, self.owner_id, state=FrameState.MOVABLE
+        )
+        self.node.pin_frames(frames)  # mlock
+        self.frames = np.concatenate([self.frames, frames])
+        return count
+
+    def leave_free_bytes(self, free_bytes: int) -> int:
+        """Occupy everything except ``free_bytes`` of the node's memory.
+
+        This is the paper's usage pattern: "to constrain BFS on Kronecker
+        (8.5GB footprint) by 1x, run memhog with 55.5GB on the 64GB node" —
+        i.e. leave exactly WSS + Δ free.  Returns frames pinned.
+        """
+        current_free = self.node.free_bytes
+        to_occupy = max(0, current_free - free_bytes)
+        return self.occupy_bytes(to_occupy)
+
+    def release(self) -> None:
+        """Unpin and free all hogged memory."""
+        if self.frames.size:
+            self.node.free_frames(self.frames)
+            self.frames = np.empty(0, dtype=np.int64)
+
+    # FrameOwner protocol: pinned pages are never migrated or reclaimed.
+    def relocate_frame(self, old_frame: int, new_frame: int) -> None:  # pragma: no cover
+        raise AssertionError("pinned (mlocked) pages cannot be migrated")
+
+    def reclaim_frame(self, frame: int) -> None:  # pragma: no cover
+        raise AssertionError("pinned (mlocked) pages cannot be reclaimed")

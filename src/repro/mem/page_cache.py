@@ -1,0 +1,146 @@
+"""Page-cache model: single-use memory interference (§4.3).
+
+When graph data is loaded from files, the OS caches the file contents in
+the page cache.  For graph analytics this cached data is *single-use* —
+it is parsed into the CSR arrays once and never read again — yet it
+occupies free memory exactly when the application is faulting in its
+arrays, stealing frames that could have become huge pages.
+
+The paper evaluates three mitigations, all modeled here:
+
+- ``drop_caches`` — the coarse global knob (``/proc/sys/vm/drop_caches``),
+- direct I/O — bypass the cache entirely for one file,
+- tmpfs on the *remote* NUMA node — the paper's preferred approach: the
+  cached data lives on node 0 while the application (bound to node 1)
+  keeps its node's memory to itself.
+
+Cache frames are movable **and reclaimable**, so fault-path reclaim can
+drop them — at a cost, and only "in time" if the allocator is allowed to
+reclaim (the paper notes reclaim often cannot keep up; we expose that as
+the THP policy's ``fault_reclaim`` flag).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .physical import FrameState, NodeMemory
+
+
+class PageCache:
+    """File-backed page cache over one or more NUMA nodes."""
+
+    def __init__(self, nodes: list[NodeMemory]) -> None:
+        if not nodes:
+            raise ConfigError("page cache needs at least one node")
+        self.nodes = nodes
+        self._owner_ids = {
+            node.node_id: node.register_owner(self) for node in nodes
+        }
+        # file name -> (node_id, set of frames)
+        self._files: dict[str, tuple[int, set[int]]] = {}
+        # frame -> file name, per node, for reclaim callbacks
+        self._frame_file: dict[tuple[int, int], str] = {}
+
+    def cached_bytes(self, node_id: int) -> int:
+        """Bytes of page cache currently resident on ``node_id``."""
+        node = self._node(node_id)
+        page = node.config.pages.base_page_size
+        return sum(
+            len(frames) * page
+            for nid, frames in self._files.values()
+            if nid == node_id
+        )
+
+    def read_file(
+        self,
+        name: str,
+        size_bytes: int,
+        node_id: int,
+        direct_io: bool = False,
+    ) -> int:
+        """Simulate reading ``size_bytes`` of file ``name``.
+
+        Populates the cache on ``node_id`` (partial population if the node
+        lacks free frames, mirroring cache admission under pressure).
+        ``direct_io=True`` bypasses the cache entirely.  Returns the number
+        of frames cached.
+        """
+        if direct_io:
+            return 0
+        node = self._node(node_id)
+        page = node.config.pages.base_page_size
+        want = -(-size_bytes // page)
+        available = node.free_frame_count
+        count = min(want, available)
+        if count == 0:
+            return 0
+        frames = node.alloc_frames(
+            count,
+            self._owner_ids[node_id],
+            state=FrameState.MOVABLE,
+            reclaimable=True,
+        )
+        _, existing = self._files.get(name, (node_id, set()))
+        existing.update(int(f) for f in frames)
+        self._files[name] = (node_id, existing)
+        for frame in frames:
+            self._frame_file[(node_id, int(frame))] = name
+        return count
+
+    def evict_file(self, name: str) -> int:
+        """Drop one file's cached pages (posix_fadvise(DONTNEED))."""
+        entry = self._files.pop(name, None)
+        if entry is None:
+            return 0
+        node_id, frames = entry
+        node = self._node(node_id)
+        arr = np.fromiter(frames, dtype=np.int64, count=len(frames))
+        node.free_frames(arr)
+        for frame in frames:
+            self._frame_file.pop((node_id, frame), None)
+        return len(frames)
+
+    def drop_caches(self) -> int:
+        """The global knob: drop every cached page on every node."""
+        total = 0
+        for name in list(self._files):
+            total += self.evict_file(name)
+        return total
+
+    # ------------------------------------------------------------------
+    # FrameOwner protocol
+    # ------------------------------------------------------------------
+
+    def relocate_frame(self, old_frame: int, new_frame: int) -> None:
+        """Compaction migrated a cache page; repoint our bookkeeping."""
+        for node in self.nodes:
+            key = (node.node_id, old_frame)
+            name = self._frame_file.pop(key, None)
+            if name is not None:
+                node_id, frames = self._files[name]
+                frames.discard(old_frame)
+                frames.add(new_frame)
+                self._frame_file[(node_id, new_frame)] = name
+                return
+        raise AssertionError(f"relocated frame {old_frame} not in page cache")
+
+    def reclaim_frame(self, frame: int) -> None:
+        """The allocator reclaimed one cache page; forget it."""
+        for node in self.nodes:
+            key = (node.node_id, frame)
+            name = self._frame_file.pop(key, None)
+            if name is not None:
+                _, frames = self._files[name]
+                frames.discard(frame)
+                if not frames:
+                    self._files.pop(name, None)
+                return
+        raise AssertionError(f"reclaimed frame {frame} not in page cache")
+
+    def _node(self, node_id: int) -> NodeMemory:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ConfigError(f"page cache does not manage node {node_id}")

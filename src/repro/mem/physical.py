@@ -1,0 +1,464 @@
+"""Physical memory model: frames, huge regions, mobility, compaction.
+
+Each NUMA node is a flat array of base-page *frames* grouped into aligned
+*huge regions* (32 frames per 128KB region in the SCALED profile, 512 per
+2MB region on real x86-64).  Frames carry a mobility class:
+
+- ``FREE`` — available for allocation,
+- ``MOVABLE`` — user memory; compaction may migrate it,
+- ``NONMOVABLE`` — kernel memory; never migrated (the paper's ``frag``
+  tool plants exactly these),
+- ``PINNED`` — ``mlock``-ed memory (the paper's ``memhog``); neither
+  migrated nor reclaimed.
+
+Frames may additionally be *reclaimable* (page-cache contents that can be
+dropped at a cost), which models the single-use-memory interference of
+§4.3.
+
+Huge page allocation requires one fully free region.  When none exists the
+allocator mirrors the kernel's behaviour: it attempts *compaction*
+(migrating movable frames out of an almost-free region) and *reclaim*
+(dropping reclaimable frames), charging the cycle cost of both to the
+kernel ledger — this is the "extra effort" the paper measures under
+moderate memory pressure.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..errors import OutOfMemoryError
+from .stats import KernelLedger
+
+
+class FrameState(IntEnum):
+    """Mobility class of one physical frame."""
+
+    FREE = 0
+    MOVABLE = 1
+    NONMOVABLE = 2
+    PINNED = 3
+    HUGE = 4
+    """Part of an allocated huge page.  Compaction never migrates
+    individual frames out of a THP (the kernel would have to split it
+    first); demotion returns the frames to ``MOVABLE``."""
+
+
+class FrameOwner(Protocol):
+    """Callbacks the allocator uses to coordinate with frame owners.
+
+    Owners (the VMM, the page cache) register with a node and receive
+    notifications when compaction migrates one of their frames or reclaim
+    drops one.
+    """
+
+    def relocate_frame(self, old_frame: int, new_frame: int) -> None:
+        """Compaction moved the owner's data from ``old_frame`` to
+        ``new_frame``; the owner must repoint its mappings."""
+        ...
+
+    def reclaim_frame(self, frame: int) -> None:
+        """Reclaim dropped the owner's (reclaimable) frame; the owner must
+        forget it.  The allocator frees the frame itself."""
+        ...
+
+
+class NodeMemory:
+    """Frame map for a single NUMA node."""
+
+    def __init__(
+        self, node_id: int, config: MachineConfig, ledger: KernelLedger
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.ledger = ledger
+        self.frames_per_region = config.pages.frames_per_huge
+        self.num_frames = config.frames_per_node
+        self.num_regions = config.huge_regions_per_node
+        self.state = np.zeros(self.num_frames, dtype=np.uint8)
+        self.owner_id = np.full(self.num_frames, -1, dtype=np.int32)
+        self.reclaimable = np.zeros(self.num_frames, dtype=bool)
+        self._owners: dict[int, FrameOwner] = {}
+        self._next_owner_id = 0
+        self._region_starts = np.arange(
+            0, self.num_frames, self.frames_per_region
+        )
+
+    # ------------------------------------------------------------------
+    # Owner registry
+    # ------------------------------------------------------------------
+
+    def register_owner(self, owner: FrameOwner) -> int:
+        """Register a frame owner; returns its id for allocation calls."""
+        owner_id = self._next_owner_id
+        self._next_owner_id += 1
+        self._owners[owner_id] = owner
+        return owner_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def free_frame_count(self) -> int:
+        """Number of free frames on this node."""
+        return int(np.count_nonzero(self.state == FrameState.FREE))
+
+    @property
+    def free_bytes(self) -> int:
+        """Free memory in bytes."""
+        return self.free_frame_count * self.config.pages.base_page_size
+
+    def region_free_counts(self) -> np.ndarray:
+        """Free-frame count per huge region (length ``num_regions``)."""
+        free = (self.state == FrameState.FREE).astype(np.int64)
+        return np.add.reduceat(free, self._region_starts)
+
+    def pristine_region_count(self) -> int:
+        """Number of fully free huge regions."""
+        return int(
+            np.count_nonzero(
+                self.region_free_counts() == self.frames_per_region
+            )
+        )
+
+    def region_of(self, frame: int) -> int:
+        """Huge region index containing ``frame``."""
+        return frame // self.frames_per_region
+
+    def region_frames(self, region: int) -> slice:
+        """Slice of frame indices covered by huge region ``region``."""
+        start = region * self.frames_per_region
+        return slice(start, start + self.frames_per_region)
+
+    def fragmentation_level(self) -> float:
+        """Fraction of *free* memory with no enclosing free huge region.
+
+        This is the paper's fragmentation definition (§4.4.1): the
+        percentage of available memory where no contiguous huge-page-sized
+        region exists.  0.0 means all free memory is in pristine regions;
+        1.0 means none of it is.
+        """
+        counts = self.region_free_counts()
+        free_total = int(counts.sum())
+        if free_total == 0:
+            return 0.0
+        pristine_free = int(
+            counts[counts == self.frames_per_region].sum()
+        )
+        return 1.0 - pristine_free / free_total
+
+    # ------------------------------------------------------------------
+    # Base-page allocation
+    # ------------------------------------------------------------------
+
+    def alloc_frames(
+        self,
+        count: int,
+        owner_id: int,
+        state: FrameState = FrameState.MOVABLE,
+        reclaimable: bool = False,
+        prefer_broken: bool = True,
+    ) -> np.ndarray:
+        """Allocate ``count`` base frames; returns their indices.
+
+        With ``prefer_broken`` (the default, mirroring the buddy
+        allocator's preference for splitting already-broken blocks) frames
+        are taken from partially used regions before pristine regions are
+        broken up.
+
+        Raises:
+            OutOfMemoryError: if fewer than ``count`` frames are free.
+        """
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        free_mask = self.state == FrameState.FREE
+        total_free = int(np.count_nonzero(free_mask))
+        if total_free < count:
+            raise OutOfMemoryError(
+                f"node {self.node_id}: need {count} frames, "
+                f"only {total_free} free"
+            )
+        if prefer_broken:
+            chosen = self._pick_broken_first(free_mask, count)
+        else:
+            chosen = np.flatnonzero(free_mask)[:count]
+        self.state[chosen] = int(state)
+        self.owner_id[chosen] = owner_id
+        self.reclaimable[chosen] = reclaimable
+        return chosen
+
+    def _pick_broken_first(
+        self, free_mask: np.ndarray, count: int
+    ) -> np.ndarray:
+        """Pick free frames from the most-used regions first."""
+        counts = self.region_free_counts()
+        # Regions with some free frames, ordered: partially-used regions
+        # (fewest free frames first) before pristine regions.
+        has_free = counts > 0
+        pristine = counts == self.frames_per_region
+        partial = has_free & ~pristine
+        order = np.concatenate(
+            [
+                np.flatnonzero(partial)[np.argsort(counts[partial], kind="stable")],
+                np.flatnonzero(pristine),
+            ]
+        )
+        chosen_parts: list[np.ndarray] = []
+        remaining = count
+        fpr = self.frames_per_region
+        for region in order:
+            start = region * fpr
+            local = np.flatnonzero(free_mask[start : start + fpr]) + start
+            if local.size > remaining:
+                local = local[:remaining]
+            chosen_parts.append(local)
+            remaining -= local.size
+            if remaining == 0:
+                break
+        return np.concatenate(chosen_parts)
+
+    # ------------------------------------------------------------------
+    # Huge-page allocation
+    # ------------------------------------------------------------------
+
+    def alloc_huge_region(
+        self,
+        owner_id: int,
+        allow_compaction: bool = True,
+        allow_reclaim: bool = True,
+        state: FrameState = FrameState.HUGE,
+    ) -> Optional[int]:
+        """Allocate one fully free huge region; returns the region index.
+
+        Falls back to compaction (migrating movable frames out of the
+        least-occupied eligible region) and reclaim (dropping reclaimable
+        frames) when no pristine region exists, charging the work to the
+        kernel ledger.  Returns ``None`` when no region can be assembled —
+        the caller decides whether that means "fall back to base pages"
+        (THP policy) or "out of memory".
+        """
+        counts = self.region_free_counts()
+        pristine = np.flatnonzero(counts == self.frames_per_region)
+        if pristine.size:
+            region = int(pristine[0])
+            return self._claim_region(region, owner_id, state)
+        if not (allow_compaction or allow_reclaim):
+            return None
+        region = self._assemble_region(allow_compaction, allow_reclaim)
+        if region is None:
+            return None
+        return self._claim_region(region, owner_id, state)
+
+    def _claim_region(
+        self, region: int, owner_id: int, state: FrameState
+    ) -> int:
+        frames = self.region_frames(region)
+        self.state[frames] = int(state)
+        self.owner_id[frames] = owner_id
+        self.reclaimable[frames] = False
+        return region
+
+    def _assemble_region(
+        self, allow_compaction: bool, allow_reclaim: bool
+    ) -> Optional[int]:
+        """Free up one region via reclaim and/or compaction.
+
+        A region is a candidate if every used frame in it is either
+        movable (and compaction is allowed) or reclaimable (and reclaim is
+        allowed).  The candidate needing the least work is chosen, and its
+        movable frames must fit in free frames *outside* the region.
+        """
+        fpr = self.frames_per_region
+        state = self.state
+        free_counts = self.region_free_counts()
+        movable = (state == FrameState.MOVABLE).astype(np.int64)
+        reclaim = (
+            (state == FrameState.MOVABLE) & self.reclaimable
+        ).astype(np.int64)
+        blocked = (
+            (state == FrameState.NONMOVABLE)
+            | (state == FrameState.PINNED)
+            | (state == FrameState.HUGE)
+        ).astype(np.int64)
+        movable_counts = np.add.reduceat(movable, self._region_starts)
+        reclaim_counts = np.add.reduceat(reclaim, self._region_starts)
+        blocked_counts = np.add.reduceat(blocked, self._region_starts)
+
+        migrate_counts = movable_counts - reclaim_counts
+        eligible = blocked_counts == 0
+        if not allow_compaction:
+            eligible &= migrate_counts == 0
+        if not allow_reclaim:
+            eligible &= reclaim_counts == 0
+            migrate_counts = movable_counts  # nothing is droppable
+        candidates = np.flatnonzero(eligible)
+        if candidates.size == 0:
+            return None
+        # Least total work first: prefer dropping over migrating.
+        work = migrate_counts[candidates] * 2 + reclaim_counts[candidates]
+        order = candidates[np.argsort(work, kind="stable")]
+        total_free = int(free_counts.sum())
+        for region in order:
+            region = int(region)
+            need_migrate = int(migrate_counts[region])
+            free_outside = total_free - int(free_counts[region])
+            if need_migrate > free_outside:
+                continue
+            self._evacuate_region(region, allow_reclaim)
+            return region
+        return None
+
+    def _evacuate_region(self, region: int, allow_reclaim: bool) -> None:
+        """Drop reclaimable frames and migrate movable frames out."""
+        frames = self.region_frames(region)
+        start = frames.start
+        local_states = self.state[frames]
+        used = np.flatnonzero(local_states == FrameState.MOVABLE) + start
+        reclaimed = 0
+        migrated: list[int] = []
+        for frame in used:
+            frame = int(frame)
+            if allow_reclaim and self.reclaimable[frame]:
+                self._owners[int(self.owner_id[frame])].reclaim_frame(frame)
+                self._release(frame)
+                reclaimed += 1
+            else:
+                migrated.append(frame)
+        if migrated:
+            targets = self._migration_targets(len(migrated), region)
+            for old, new in zip(migrated, targets):
+                new = int(new)
+                self.state[new] = self.state[old]
+                self.owner_id[new] = self.owner_id[old]
+                self.reclaimable[new] = self.reclaimable[old]
+                self._owners[int(self.owner_id[old])].relocate_frame(old, new)
+                self._release(old)
+            self.ledger.compaction(len(migrated))
+            self.ledger.tlb_flush()
+        if reclaimed:
+            self.ledger.reclaim(reclaimed)
+
+    def _migration_targets(self, count: int, exclude_region: int) -> np.ndarray:
+        """Free frames outside ``exclude_region``, broken regions first."""
+        free_mask = self.state == FrameState.FREE
+        frames = self.region_frames(exclude_region)
+        free_mask[frames] = False
+        return self._pick_broken_first_masked(free_mask, count)
+
+    def _pick_broken_first_masked(
+        self, free_mask: np.ndarray, count: int
+    ) -> np.ndarray:
+        """Like :meth:`_pick_broken_first` but for a caller-supplied mask."""
+        free = free_mask.astype(np.int64)
+        counts = np.add.reduceat(free, self._region_starts)
+        has_free = counts > 0
+        pristine = counts == self.frames_per_region
+        partial = has_free & ~pristine
+        order = np.concatenate(
+            [
+                np.flatnonzero(partial)[np.argsort(counts[partial], kind="stable")],
+                np.flatnonzero(pristine),
+            ]
+        )
+        chosen_parts: list[np.ndarray] = []
+        remaining = count
+        fpr = self.frames_per_region
+        for region in order:
+            start = region * fpr
+            local = np.flatnonzero(free_mask[start : start + fpr]) + start
+            if local.size > remaining:
+                local = local[:remaining]
+            chosen_parts.append(local)
+            remaining -= local.size
+            if remaining == 0:
+                break
+        if remaining:
+            raise OutOfMemoryError(
+                f"node {self.node_id}: cannot find {count} migration targets"
+            )
+        return np.concatenate(chosen_parts)
+
+    # ------------------------------------------------------------------
+    # Freeing / pinning
+    # ------------------------------------------------------------------
+
+    def _release(self, frame: int) -> None:
+        self.state[frame] = int(FrameState.FREE)
+        self.owner_id[frame] = -1
+        self.reclaimable[frame] = False
+
+    def reclaim_frames(self, count: int) -> int:
+        """Drop up to ``count`` reclaimable (page-cache) frames to free
+        memory — the kernel's reclaim-before-swap behaviour.  Returns
+        the number of frames actually freed and charges their reclaim
+        cost."""
+        candidates = np.flatnonzero(
+            (self.state == FrameState.MOVABLE) & self.reclaimable
+        )[:count]
+        if candidates.size == 0:
+            return 0
+        for frame in candidates:
+            frame = int(frame)
+            self._owners[int(self.owner_id[frame])].reclaim_frame(frame)
+            self._release(frame)
+        self.ledger.reclaim(int(candidates.size))
+        return int(candidates.size)
+
+    def free_frames(self, frames: np.ndarray) -> None:
+        """Return the given frames to the free pool."""
+        self.state[frames] = int(FrameState.FREE)
+        self.owner_id[frames] = -1
+        self.reclaimable[frames] = False
+
+    def free_huge_region(self, region: int) -> None:
+        """Return a whole huge region to the free pool."""
+        frames = self.region_frames(region)
+        self.state[frames] = int(FrameState.FREE)
+        self.owner_id[frames] = -1
+        self.reclaimable[frames] = False
+
+    def demote_region(self, region: int) -> None:
+        """A huge page in ``region`` was split: its frames become
+        individually movable (and freeable) base pages."""
+        frames = self.region_frames(region)
+        idx = (
+            np.flatnonzero(self.state[frames] == FrameState.HUGE)
+            + frames.start
+        )
+        self.state[idx] = int(FrameState.MOVABLE)
+
+    def pin_frames(self, frames: np.ndarray) -> None:
+        """Mark frames as pinned (``mlock``): not migratable, not
+        reclaimable."""
+        self.state[frames] = int(FrameState.PINNED)
+        self.reclaimable[frames] = False
+
+
+class PhysicalMemory:
+    """All NUMA nodes of the machine plus the shared kernel ledger."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.ledger = KernelLedger(cost=config.cost)
+        self.nodes = [
+            NodeMemory(node_id, config, self.ledger)
+            for node_id in range(config.num_nodes)
+        ]
+
+    def node(self, node_id: int) -> NodeMemory:
+        """The frame map of NUMA node ``node_id``."""
+        return self.nodes[node_id]
+
+    def reset_ledger(self) -> KernelLedger:
+        """Swap in a fresh ledger (e.g. after scenario setup, before the
+        measured run) and return the old one."""
+        old = self.ledger
+        self.ledger = KernelLedger(cost=self.config.cost)
+        for node in self.nodes:
+            node.ledger = self.ledger
+        return old

@@ -1,0 +1,87 @@
+"""Transparent huge page (THP) policy engine.
+
+Models the Linux THP machinery the paper characterizes (§2.3):
+
+- **Modes** mirror ``/sys/kernel/mm/transparent_hugepage/enabled``:
+  ``ALWAYS`` (system-wide THP), ``MADVISE`` (only regions advised with
+  ``MADV_HUGEPAGE``), ``NEVER`` (the paper's 4KB baseline).
+- **Fault-time allocation**: when a process first touches an eligible
+  aligned chunk, the policy tries to back it with a huge page, optionally
+  performing direct compaction/reclaim in the fault path (the latency the
+  paper attributes to huge page creation under pressure).
+- **khugepaged promotion**: a background pass that upgrades base-mapped
+  eligible chunks to huge pages by copying, charged to the kernel ledger.
+- **Demotion**: splitting an underutilized huge page back into base pages
+  so unused tail pages can be reclaimed.
+
+The policy itself is stateless apart from its configuration; all memory
+state lives in the VMM and the physical frame map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ThpMode(Enum):
+    """System-wide THP setting."""
+
+    NEVER = "never"
+    MADVISE = "madvise"
+    ALWAYS = "always"
+
+
+@dataclass
+class ThpPolicy:
+    """Configuration of the THP machinery.
+
+    Attributes:
+        mode: system-wide enablement (see :class:`ThpMode`).
+        fault_alloc: attempt huge allocation at first-touch fault time
+            (``hugepage/defrag`` != ``never``).  When False, eligible
+            chunks start as base pages and only khugepaged can upgrade
+            them.
+        fault_compact: allow direct compaction in the fault path to
+            assemble a region (``defrag = always``); when False the fault
+            path only takes pristine regions and defers the rest to
+            khugepaged (``defrag = defer``).
+        fault_reclaim: allow dropping reclaimable page-cache frames in the
+            fault path.
+        khugepaged_enabled: background promotion passes run between
+            workload phases.
+        khugepaged_compact: khugepaged may compact/reclaim to find regions.
+        max_fault_retries: huge-region allocation attempts per chunk at
+            fault time before falling back to base pages.
+    """
+
+    mode: ThpMode = ThpMode.NEVER
+    fault_alloc: bool = True
+    fault_compact: bool = True
+    fault_reclaim: bool = True
+    khugepaged_enabled: bool = True
+    khugepaged_compact: bool = True
+    max_fault_retries: int = 1
+
+    @staticmethod
+    def never() -> "ThpPolicy":
+        """The paper's baseline: 4KB pages only."""
+        return ThpPolicy(mode=ThpMode.NEVER, khugepaged_enabled=False)
+
+    @staticmethod
+    def always() -> "ThpPolicy":
+        """Linux's greedy system-wide THP policy."""
+        return ThpPolicy(mode=ThpMode.ALWAYS)
+
+    @staticmethod
+    def madvise() -> "ThpPolicy":
+        """Programmer-directed THP: only advised regions get huge pages."""
+        return ThpPolicy(mode=ThpMode.MADVISE)
+
+    def wants_huge(self, advised: bool) -> bool:
+        """Whether a chunk with the given madvise state should be huge."""
+        if self.mode is ThpMode.ALWAYS:
+            return True
+        if self.mode is ThpMode.MADVISE:
+            return advised
+        return False

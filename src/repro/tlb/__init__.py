@@ -1,0 +1,22 @@
+"""Address-translation hardware model.
+
+- :mod:`repro.tlb.trace` — logical access streams emitted by workloads and
+  their translation into page-granular TLB traces.
+- :mod:`repro.tlb.tlb` — a set-associative, LRU TLB structure.
+- :mod:`repro.tlb.hierarchy` — the paper's two-level hierarchy: split L1
+  DTLB (separate structures per page size, Table 1) over a unified STLB,
+  with per-data-structure miss attribution.
+"""
+
+from .trace import AccessStream, TlbTrace, merge_streams
+from .tlb import SetAssociativeTlb
+from .hierarchy import TranslationHierarchy, TranslationStats
+
+__all__ = [
+    "AccessStream",
+    "SetAssociativeTlb",
+    "TlbTrace",
+    "TranslationHierarchy",
+    "TranslationStats",
+    "merge_streams",
+]

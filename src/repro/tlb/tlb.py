@@ -1,0 +1,92 @@
+"""A set-associative TLB with true-LRU replacement.
+
+This class provides the reference object API used by unit and property
+tests; the batch simulation hot path in :mod:`repro.tlb.hierarchy`
+manipulates the same ``sets`` representation directly for speed (lists
+ordered MRU-first), so the two always agree.
+"""
+
+from __future__ import annotations
+
+from ..config import TlbGeometry
+
+
+class SetAssociativeTlb:
+    """One TLB structure: ``geometry.sets`` sets of ``geometry.ways``
+    entries, LRU within each set.
+
+    Entries are opaque integer *keys*; the set index is taken from the
+    key's page-number bits (``key >> 1``, see :mod:`repro.tlb.trace`).
+    """
+
+    def __init__(self, geometry: TlbGeometry) -> None:
+        self.geometry = geometry
+        self.set_mask = geometry.sets - 1
+        self.sets: list[list[int]] = [[] for _ in range(geometry.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def set_index(self, key: int) -> int:
+        """Set index for a packed page key."""
+        return (key >> 1) & self.set_mask
+
+    def access(self, key: int) -> bool:
+        """Look up ``key``; on miss, insert it (filling from L2/walk is
+        the hierarchy's concern).  Returns True on hit.
+
+        Maintains LRU: hits move the entry to the MRU position, misses
+        insert at MRU and evict the LRU entry if the set is full.
+        """
+        entries = self.sets[(key >> 1) & self.set_mask]
+        if key in entries:
+            entries.remove(key)
+            entries.insert(0, key)
+            self.hits += 1
+            return True
+        entries.insert(0, key)
+        if len(entries) > self.geometry.ways:
+            entries.pop()
+        self.misses += 1
+        return False
+
+    def probe(self, key: int) -> bool:
+        """Check presence without updating LRU state or counters."""
+        return key in self.sets[(key >> 1) & self.set_mask]
+
+    def insert(self, key: int) -> int | None:
+        """Insert ``key`` at MRU; returns the evicted key, if any."""
+        entries = self.sets[(key >> 1) & self.set_mask]
+        if key in entries:
+            entries.remove(key)
+        entries.insert(0, key)
+        if len(entries) > self.geometry.ways:
+            return entries.pop()
+        return None
+
+    def invalidate(self, key: int) -> bool:
+        """Remove ``key`` (TLB shootdown for one page); True if present."""
+        entries = self.sets[(key >> 1) & self.set_mask]
+        if key in entries:
+            entries.remove(key)
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every entry (full shootdown)."""
+        for entries in self.sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries."""
+        return sum(len(entries) for entries in self.sets)
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups through :meth:`access`."""
+        return self.hits + self.misses
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss counters without flushing contents."""
+        self.hits = 0
+        self.misses = 0

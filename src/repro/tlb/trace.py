@@ -1,0 +1,129 @@
+"""Access streams and TLB traces.
+
+Workloads emit *logical* access streams: parallel arrays of
+``(array_id, element_index)`` in program order, exactly following the
+paper's Fig. 4 pseudocode (sequential vertex/edge array reads interleaved
+with pointer-indirect property accesses).  The machine translates a
+stream against the process's memory layout into a *TLB trace*: page keys
+annotated with page-size class, run-length compressed.
+
+Page keys pack the page number and size class into one integer::
+
+    key = (page_number << 1) | size_class      # size: 0 = base, 1 = huge
+
+so keys are unique across sizes and cheap to split in the simulation
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AccessStream:
+    """A program-order sequence of logical array accesses.
+
+    Attributes:
+        array_ids: ``uint8`` array naming which data structure each access
+            touches (workload-defined ids, e.g. 0=vertex, 1=edge,
+            2=values, 3=property).
+        indices: ``int64`` element index within that array.
+    """
+
+    array_ids: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.array_ids.shape != self.indices.shape:
+            raise ValueError("array_ids and indices must have equal length")
+
+    def __len__(self) -> int:
+        return int(self.array_ids.size)
+
+    @staticmethod
+    def concatenate(streams: list["AccessStream"]) -> "AccessStream":
+        """Concatenate streams in order."""
+        if not streams:
+            return AccessStream(
+                np.empty(0, dtype=np.uint8), np.empty(0, dtype=np.int64)
+            )
+        return AccessStream(
+            np.concatenate([s.array_ids for s in streams]),
+            np.concatenate([s.indices for s in streams]),
+        )
+
+
+def merge_streams(
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+) -> AccessStream:
+    """Merge sub-streams by program position into one stream.
+
+    Each part is ``(positions, array_ids, indices)`` where ``positions``
+    are fractional program-order coordinates.  A stable argsort interleaves
+    them — used by kernels to weave per-vertex accesses (vertex array
+    reads) between the per-edge access pairs at the correct points.
+    """
+    positions = np.concatenate([p[0] for p in parts])
+    array_ids = np.concatenate([p[1] for p in parts])
+    indices = np.concatenate([p[2] for p in parts])
+    order = np.argsort(positions, kind="stable")
+    return AccessStream(array_ids[order].astype(np.uint8), indices[order])
+
+
+@dataclass
+class TlbTrace:
+    """A page-granular, run-length-compressed translation trace.
+
+    Attributes:
+        keys: packed page keys (``(page << 1) | size``).
+        counts: run length of each key (consecutive repeats collapsed;
+            hits after the first access in a run are L1 hits by
+            construction).
+        array_ids: data-structure id of each run (runs never span
+            array-id changes).
+    """
+
+    keys: np.ndarray
+    counts: np.ndarray
+    array_ids: np.ndarray
+
+    @property
+    def total_accesses(self) -> int:
+        """Number of represented accesses (sum of run lengths)."""
+        return int(self.counts.sum())
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+
+def compress_trace(
+    keys: np.ndarray, array_ids: np.ndarray
+) -> TlbTrace:
+    """Run-length encode a raw key sequence.
+
+    Consecutive accesses to the same page (with the same array id) are
+    collapsed into one run.  Sequential scans of an array compress by up
+    to the page size over the element size; pointer-indirect traffic stays
+    nearly uncompressed — which is exactly why it dominates TLB pressure.
+    """
+    n = keys.size
+    if n == 0:
+        return TlbTrace(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8),
+        )
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=change[1:])
+    change[1:] |= array_ids[1:] != array_ids[:-1]
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, n))
+    return TlbTrace(
+        keys[starts].astype(np.int64),
+        counts.astype(np.int64),
+        array_ids[starts].astype(np.uint8),
+    )

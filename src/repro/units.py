@@ -1,0 +1,64 @@
+"""Byte-size units and human-readable formatting helpers.
+
+The simulator configures memory sizes in bytes everywhere.  These helpers
+keep call sites readable (``64 * MiB`` instead of ``67108864``) and render
+metric tables with compact size strings.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+"""One kibibyte in bytes."""
+
+MiB = 1024 * KiB
+"""One mebibyte in bytes."""
+
+GiB = 1024 * MiB
+"""One gibibyte in bytes."""
+
+
+def format_bytes(num_bytes: int | float) -> str:
+    """Render a byte count with a binary-prefix unit.
+
+    >>> format_bytes(4096)
+    '4.0KiB'
+    >>> format_bytes(3 * MiB + 512 * KiB)
+    '3.5MiB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(count: int | float) -> str:
+    """Render a large count with K/M/B suffixes.
+
+    >>> format_count(1_050_000_000)
+    '1.05B'
+    >>> format_count(34_000_000)
+    '34.0M'
+    """
+    value = float(count)
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            digits = f"{value / threshold:.2f}".rstrip("0").rstrip(".")
+            return digits + suffix
+    return f"{value:g}"
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)

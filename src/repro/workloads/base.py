@@ -1,0 +1,228 @@
+"""Workload interface and the shared access-trace builder.
+
+A workload is an iterator of :class:`~repro.tlb.trace.AccessStream`
+objects, one per algorithm iteration (frontier/worklist pass), plus the
+metadata the machine needs to lay its arrays out in simulated virtual
+memory.
+
+The trace builder reproduces the access interleaving of the paper's
+Fig. 4 inner loops: for each worklist vertex ``u`` the kernel reads
+``vertex_array[u]`` and ``vertex_array[u+1]``, then for each of ``u``'s
+edges reads the edge array entry (and the values array entry for
+weighted algorithms) and performs the pointer-indirect property access
+``prop_array[edge_array[e]]`` — the access highlighted gray in Fig. 4
+that the paper identifies as the dominant source of TLB misses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..graph.csr import CsrGraph, concat_ranges
+from ..tlb.trace import AccessStream, merge_streams
+
+ARRAY_VERTEX = 0
+"""CSR vertex array (``indptr``): sequential, small."""
+
+ARRAY_EDGE = 1
+"""CSR edge array (``indices``): sequential within a vertex, large."""
+
+ARRAY_VALUES = 2
+"""CSR values array (edge weights): parallels the edge array (SSSP)."""
+
+ARRAY_PROPERTY = 3
+"""Per-vertex property array: pointer-indirect, the TLB-miss hot spot."""
+
+ARRAY_RANK = 4
+"""PageRank's per-vertex source-rank array (read sequentially)."""
+
+ARRAY_NAMES = {
+    ARRAY_VERTEX: "vertex_array",
+    ARRAY_EDGE: "edge_array",
+    ARRAY_VALUES: "values_array",
+    ARRAY_PROPERTY: "property_array",
+    ARRAY_RANK: "rank_array",
+}
+"""Array id -> report name."""
+
+
+class Workload(ABC):
+    """A graph kernel that can be simulated on a machine.
+
+    Subclasses define the data structures they map (:meth:`array_ids`
+    and element counts via :meth:`array_elements`) and generate their
+    access streams in :meth:`run`.
+    """
+
+    name: str = "workload"
+
+    def __init__(self, graph: CsrGraph) -> None:
+        self.graph = graph
+
+    @abstractmethod
+    def array_ids(self) -> tuple[int, ...]:
+        """The data structures this kernel uses, in natural allocation
+        order (the order the initialization code allocates them; the
+        property array comes last, as in the paper's reference code)."""
+
+    def array_elements(self, array_id: int) -> int:
+        """Number of elements in the given array."""
+        graph = self.graph
+        if array_id == ARRAY_VERTEX:
+            return graph.num_vertices + 1
+        if array_id == ARRAY_EDGE:
+            return graph.num_edges
+        if array_id == ARRAY_VALUES:
+            return graph.num_edges
+        if array_id in (ARRAY_PROPERTY, ARRAY_RANK):
+            return graph.num_vertices
+        raise ValueError(f"unknown array id {array_id}")
+
+    @abstractmethod
+    def run(self) -> Iterator[AccessStream]:
+        """Execute the kernel, yielding one access stream per iteration.
+
+        Implementations must also compute the *semantic* result so
+        correctness can be checked against reference oracles."""
+
+    @abstractmethod
+    def result(self) -> np.ndarray:
+        """The final property array (after :meth:`run` is exhausted)."""
+
+    # ------------------------------------------------------------------
+    # Shared trace construction
+    # ------------------------------------------------------------------
+
+    def edge_phase_stream(
+        self,
+        frontier: np.ndarray,
+        edge_positions: np.ndarray,
+        property_targets: np.ndarray,
+        with_values: bool = False,
+        with_source_property: bool = False,
+        source_rank_reads: bool = False,
+    ) -> AccessStream:
+        """Build one frontier pass's interleaved access stream.
+
+        Args:
+            frontier: worklist vertex ids, in processing order.
+            edge_positions: edge-array indices of every processed edge,
+                grouped by frontier vertex (``concat_ranges`` output).
+            property_targets: property-array index accessed per edge
+                (the indirect ``edge_array[e]`` destination).
+            with_values: also read the values array per edge (SSSP).
+            with_source_property: read ``prop[u]`` once per worklist
+                vertex before its edges (SSSP reads the source distance).
+            source_rank_reads: read ``rank[u]`` once per worklist vertex
+                (PageRank's contribution fetch).
+
+        Returns:
+            The merged, program-ordered access stream.
+        """
+        graph = self.graph
+        degrees = np.diff(graph.indptr)[frontier]
+        num_edges = int(edge_positions.size)
+        per_edge = 3 if with_values else 2
+
+        # Per-edge accesses occupy integer positions; accesses belonging
+        # to vertex u are woven in just before u's first edge using
+        # fractional positions.
+        edge_pos = (
+            np.arange(num_edges, dtype=np.float64) * per_edge
+        )
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+            (
+                edge_pos,
+                np.full(num_edges, ARRAY_EDGE, dtype=np.uint8),
+                edge_positions,
+            ),
+            (
+                edge_pos + (per_edge - 1),
+                np.full(num_edges, ARRAY_PROPERTY, dtype=np.uint8),
+                property_targets,
+            ),
+        ]
+        if with_values:
+            parts.append(
+                (
+                    edge_pos + 1,
+                    np.full(num_edges, ARRAY_VALUES, dtype=np.uint8),
+                    edge_positions,
+                )
+            )
+
+        # Vertex-array reads: indptr[u] and indptr[u+1] per worklist
+        # vertex, placed before that vertex's edge burst.
+        edge_offsets = np.zeros(frontier.size, dtype=np.float64)
+        np.cumsum(degrees[:-1], out=edge_offsets[1:])
+        base = edge_offsets * per_edge
+        vertex_ids = frontier.astype(np.int64)
+        parts.append(
+            (
+                base - 0.9,
+                np.full(frontier.size, ARRAY_VERTEX, dtype=np.uint8),
+                vertex_ids,
+            )
+        )
+        parts.append(
+            (
+                base - 0.8,
+                np.full(frontier.size, ARRAY_VERTEX, dtype=np.uint8),
+                vertex_ids + 1,
+            )
+        )
+        if with_source_property:
+            parts.append(
+                (
+                    base - 0.5,
+                    np.full(frontier.size, ARRAY_PROPERTY, dtype=np.uint8),
+                    vertex_ids,
+                )
+            )
+        if source_rank_reads:
+            parts.append(
+                (
+                    base - 0.5,
+                    np.full(frontier.size, ARRAY_RANK, dtype=np.uint8),
+                    vertex_ids,
+                )
+            )
+        return merge_streams(parts)
+
+    def gather_frontier_edges(
+        self, frontier: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Edge-array positions and destinations for a worklist.
+
+        Returns ``(edge_positions, destinations)`` grouped by frontier
+        vertex in order.
+        """
+        graph = self.graph
+        starts = graph.indptr[frontier]
+        counts = graph.indptr[frontier + 1] - starts
+        edge_positions = concat_ranges(starts, counts)
+        return edge_positions, graph.indices[edge_positions]
+
+    def sequential_pass_stream(
+        self, array_id: int, count: Optional[int] = None
+    ) -> AccessStream:
+        """A sequential sweep over one array (initialization passes,
+        PageRank's end-of-iteration rank swap)."""
+        if count is None:
+            count = self.array_elements(array_id)
+        return AccessStream(
+            np.full(count, array_id, dtype=np.uint8),
+            np.arange(count, dtype=np.int64),
+        )
+
+
+def default_root(graph: CsrGraph) -> int:
+    """Deterministic traversal root: the highest out-degree vertex.
+
+    The paper picks roots that reach most of the network; the biggest
+    hub is a reproducible stand-in.
+    """
+    return int(np.argmax(np.diff(graph.indptr)))

@@ -1,0 +1,109 @@
+"""Memory layout: array specs and allocation order (paper §4.3, Fig. 7).
+
+The order in which a graph application allocates (and first touches) its
+arrays decides which data structures win the race for scarce huge pages.
+The paper contrasts:
+
+- **natural order** — the reference implementation's order: CSR arrays
+  are allocated while the input is parsed, the property array last;
+- **optimized order** — "optimized for graph analytics": the property
+  array is allocated *first*, so the performance-critical structure is
+  prioritized for huge page allocation.
+
+:class:`MemoryLayout` captures both, plus the element size used to map
+logical element indices to simulated virtual addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import WorkloadError
+from .base import ARRAY_NAMES, ARRAY_PROPERTY, ARRAY_RANK, Workload
+
+ELEMENT_BYTES = 8
+"""Simulated bytes per array element (8-byte records, as in the paper's
+inputs)."""
+
+
+class AllocationOrder(Enum):
+    """Which array gets first claim on huge pages."""
+
+    NATURAL = "natural"
+    """Property array allocated last (the common reference code shape)."""
+
+    PROPERTY_FIRST = "property-first"
+    """Property array allocated first (the paper's optimized order)."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One data structure to map into the process's address space."""
+
+    array_id: int
+    name: str
+    num_elements: int
+    element_bytes: int = ELEMENT_BYTES
+
+    @property
+    def length_bytes(self) -> int:
+        """Mapping size in bytes."""
+        return self.num_elements * self.element_bytes
+
+
+class MemoryLayout:
+    """The set of arrays a workload maps, with an allocation order."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        order: AllocationOrder = AllocationOrder.NATURAL,
+    ) -> None:
+        self.order = order
+        self.specs = {
+            array_id: ArraySpec(
+                array_id,
+                ARRAY_NAMES[array_id],
+                workload.array_elements(array_id),
+            )
+            for array_id in workload.array_ids()
+        }
+        if ARRAY_PROPERTY not in self.specs:
+            raise WorkloadError(
+                f"workload {workload.name!r} declares no property array"
+            )
+
+    def allocation_sequence(self) -> list[ArraySpec]:
+        """Array specs in the order they are mmapped and first-touched.
+
+        Natural order is the workload's declared order (property last);
+        property-first hoists the per-vertex property arrays (property,
+        then rank if present) to the front, leaving the rest in natural
+        order.
+        """
+        natural = list(self.specs.values())
+        if self.order is AllocationOrder.NATURAL:
+            return natural
+        hot_ids = (ARRAY_PROPERTY, ARRAY_RANK)
+        hot = [s for i in hot_ids for s in natural if s.array_id == i]
+        cold = [s for s in natural if s.array_id not in hot_ids]
+        return hot + cold
+
+    @property
+    def total_bytes(self) -> int:
+        """Application working-set size (sum of all mapped arrays)."""
+        return sum(spec.length_bytes for spec in self.specs.values())
+
+    def spec(self, array_id: int) -> ArraySpec:
+        """The spec for one array id.
+
+        Raises:
+            WorkloadError: if the workload does not map that array.
+        """
+        try:
+            return self.specs[array_id]
+        except KeyError:
+            raise WorkloadError(
+                f"workload maps no array with id {array_id}"
+            ) from None

@@ -1,0 +1,113 @@
+"""Tests for the core contribution: plans, advisor, selective helpers."""
+
+import pytest
+
+from repro.config import ConfigError, tiny
+from repro.core.advisor import PageSizeAdvisor
+from repro.core.plan import PlacementPlan
+from repro.core.selective import huge_page_budget, selective_property_plan
+from repro.graph.generators import power_law_graph
+from repro.workloads.base import ARRAY_PROPERTY
+from repro.workloads.layout import AllocationOrder
+
+
+class TestPlacementPlan:
+    def test_none_plan(self):
+        plan = PlacementPlan.none()
+        assert plan.advise_fractions == {}
+        assert plan.order is AllocationOrder.NATURAL
+        assert plan.reorder == "original"
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigError):
+            PlacementPlan(advise_fractions={ARRAY_PROPERTY: 0.0})
+        with pytest.raises(ConfigError):
+            PlacementPlan(advise_fractions={ARRAY_PROPERTY: 1.5})
+
+    def test_advised_bytes(self):
+        plan = PlacementPlan(advise_fractions={ARRAY_PROPERTY: 0.25})
+        assert plan.advised_bytes({ARRAY_PROPERTY: 1000, 1: 500}) == 250
+
+    def test_frozen(self):
+        plan = PlacementPlan.none()
+        with pytest.raises(AttributeError):
+            plan.reorder = "dbg"
+
+
+class TestSelectiveHelpers:
+    def test_selective_plan(self):
+        plan = selective_property_plan(0.4)
+        assert plan.advise_fractions == {ARRAY_PROPERTY: 0.4}
+        assert plan.order is AllocationOrder.PROPERTY_FIRST
+        assert plan.reorder == "dbg"
+        assert "40%" in plan.label
+
+    def test_zero_fraction_means_no_advice(self):
+        plan = selective_property_plan(0.0, reorder="original")
+        assert plan.advise_fractions == {}
+
+    def test_budget(self):
+        assert huge_page_budget(10, 1000) == pytest.approx(0.01)
+        assert huge_page_budget(1, 0) == 0.0
+
+
+class TestAdvisor:
+    def make_scattered(self):
+        """Power-law graph with hubs scattered (Kronecker-like)."""
+        return power_law_graph(
+            16384, 131072, alpha=1.0, hub_shuffle=1.0, seed=21
+        )
+
+    def make_clustered(self):
+        """Power-law graph with hubs at low ids (Twitter-like)."""
+        return power_law_graph(16384, 131072, alpha=1.0, seed=21)
+
+    def test_recommends_dbg_for_scattered_hubs(self):
+        report = PageSizeAdvisor(
+            self.make_scattered(), config=tiny()
+        ).advise()
+        assert report.reorder_recommended
+        assert report.plan.reorder == "dbg"
+
+    def test_skips_dbg_for_clustered_hubs(self):
+        report = PageSizeAdvisor(
+            self.make_clustered(), config=tiny()
+        ).advise()
+        assert not report.reorder_recommended
+        assert report.plan.reorder == "original"
+        assert report.natural_clustering > 0.6
+
+    def test_coverage_target_met(self):
+        report = PageSizeAdvisor(
+            self.make_clustered(), config=tiny(), coverage_target=0.8
+        ).advise()
+        assert report.access_coverage >= 0.8
+
+    def test_advise_fraction_is_small_for_skewed_graphs(self):
+        """The whole point: a skewed graph's hot set needs only a small
+        fraction of the property array."""
+        report = PageSizeAdvisor(
+            self.make_clustered(), config=tiny()
+        ).advise()
+        assert 0.0 < report.advise_fraction < 0.7
+        assert report.plan.advise_fractions[ARRAY_PROPERTY] == pytest.approx(
+            report.advise_fraction
+        )
+
+    def test_budget_fraction_tiny_relative_to_footprint(self):
+        report = PageSizeAdvisor(
+            self.make_clustered(), config=tiny()
+        ).advise()
+        assert report.budget_fraction < 0.2
+
+    def test_plan_is_property_first(self):
+        report = PageSizeAdvisor(self.make_clustered(), config=tiny()).advise()
+        assert report.plan.order is AllocationOrder.PROPERTY_FIRST
+
+    def test_huge_pages_needed_rounding(self):
+        report = PageSizeAdvisor(self.make_clustered(), config=tiny()).advise()
+        huge = tiny().pages.huge_page_size
+        assert report.huge_pages_needed >= 1
+        assert report.huge_pages_needed * huge >= int(
+            report.advise_fraction * 16384 * 8 - huge
+        )

@@ -1,0 +1,55 @@
+"""Determinism guarantees.
+
+Every simulated cell must be bit-identical across fresh processes-worth
+of state: the paper's artifact averages 3 runs because hardware is
+noisy; the simulator's claim is that one run IS the result.  These tests
+catch hidden randomness (unseeded RNGs, set/dict iteration order leaking
+into allocation decisions).
+"""
+
+import numpy as np
+
+from repro.config import tiny
+from repro.experiments.harness import ExperimentRunner
+from repro.experiments.policies import POLICIES, selective_policy
+from repro.experiments.scenarios import constrained, fragmented, fresh
+from repro.graph.datasets import clear_dataset_cache
+
+
+def run_cell_fresh(policy, scenario):
+    clear_dataset_cache()
+    runner = ExperimentRunner(
+        config=tiny(), datasets=("test-small",), pagerank_iterations=1
+    )
+    return runner.run_cell("bfs", "test-small", policy, scenario)
+
+
+class TestCellDeterminism:
+    def test_fresh_cell_identical(self):
+        a = run_cell_fresh(POLICIES["thp"], fresh())
+        b = run_cell_fresh(POLICIES["thp"], fresh())
+        assert a.kernel_cycles == b.kernel_cycles
+        assert a.init_cycles == b.init_cycles
+        assert np.array_equal(a.translation.walks, b.translation.walks)
+
+    def test_pressured_cell_identical(self):
+        a = run_cell_fresh(POLICIES["thp"], constrained(0.25))
+        b = run_cell_fresh(POLICIES["thp"], constrained(0.25))
+        assert a.kernel_cycles == b.kernel_cycles
+        assert a.huge_bytes == b.huge_bytes
+
+    def test_fragmented_selective_identical(self):
+        policy = selective_policy(0.5, reorder="dbg")
+        a = run_cell_fresh(policy, fragmented(0.5, 1.0))
+        b = run_cell_fresh(policy, fragmented(0.5, 1.0))
+        assert a.kernel_cycles == b.kernel_cycles
+        assert a.huge_fraction_per_array == b.huge_fraction_per_array
+
+    def test_dataset_regeneration_identical(self):
+        from repro.graph.datasets import load_dataset
+
+        g1 = load_dataset("test-small").graph
+        clear_dataset_cache()
+        g2 = load_dataset("test-small").graph
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.indices, g2.indices)

@@ -1,0 +1,63 @@
+"""Smoke tests for the runnable examples (slow: SCALED profile runs).
+
+Each example must run to completion and print its key conclusions —
+these are the library's advertised entry points, so they are tested
+like any other deliverable.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "THP speedup over 4KB pages" in out
+    assert "DTLB miss rate" in out
+
+
+def test_memory_pressure_study():
+    out = run_example("memory_pressure_study.py", "wiki-s")
+    assert "oversubscribed" in out
+    assert "property-first" in out
+
+
+def test_fragmentation_study():
+    out = run_example("fragmentation_study.py", "wiki-s")
+    assert "huge-backed" in out
+    assert "abl-census" in out
+
+
+def test_selective_thp_pipeline():
+    out = run_example("selective_thp_pipeline.py", "wiki-s")
+    assert "advisor report" in out
+    assert "unbounded" in out
+
+
+def test_custom_graph_advisor():
+    out = run_example("custom_graph_advisor.py")
+    assert "DBG recommended" in out or "DBG skipped" in out
+    assert "plan speedup" in out
+
+
+def test_online_autotuner():
+    out = run_example("online_autotuner.py", "wiki-s")
+    assert "online autotuner" in out
+    assert "promotions at run time" in out

@@ -1,0 +1,173 @@
+"""Structural tests for the figure functions.
+
+Run every figure on a TINY-profile runner over the fast test dataset:
+the numbers are not the paper's (the test graph is far too small to
+pressure the TLB), but every function must produce the right rows,
+columns and render without error.  The paper-shape assertions live in
+test_integration_paper_shapes.py.
+"""
+
+import pytest
+
+from repro.config import tiny
+from repro.experiments import figures
+from repro.experiments.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        config=tiny(), datasets=("test-small",), pagerank_iterations=1
+    )
+
+
+def check(result, expected_columns, min_rows=1):
+    assert result.rows, result.figure_id
+    assert len(result.rows) >= min_rows
+    for col in expected_columns:
+        assert col in result.rows[0], (result.figure_id, col)
+    text = result.render()
+    assert result.figure_id in text
+
+
+def test_fig01(runner):
+    check(
+        figures.fig01_thp_speedup(runner, workloads=("bfs",)),
+        ["workload", "dataset", "thp_fresh_speedup", "thp_pressured_speedup"],
+    )
+
+
+def test_fig02(runner):
+    check(
+        figures.fig02_translation_overhead(runner, workloads=("bfs",)),
+        ["translation_fraction"],
+    )
+
+
+def test_fig03(runner):
+    check(
+        figures.fig03_tlb_miss_rates(runner, workloads=("bfs",)),
+        ["dtlb_miss_4k", "walk_rate_4k", "dtlb_miss_thp", "walk_rate_thp"],
+    )
+
+
+def test_fig04(runner):
+    result = figures.fig04_access_breakdown(runner, workloads=("bfs",))
+    check(result, ["array", "access_share", "walk_share"], min_rows=3)
+    shares = sum(r["access_share"] for r in result.rows)
+    assert shares == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fig05(runner):
+    check(
+        figures.fig05_data_structure_thp(runner),
+        ["madv-vertex", "madv-edge", "madv-property", "thp"],
+    )
+
+
+def test_table2(runner):
+    result = figures.table2_datasets(runner, workloads=("bfs", "sssp"))
+    check(result, ["vertices", "edges", "footprint_bytes"], min_rows=2)
+    sssp_row = next(r for r in result.rows if r["workload"] == "sssp")
+    bfs_row = next(r for r in result.rows if r["workload"] == "bfs")
+    assert sssp_row["footprint_bytes"] > bfs_row["footprint_bytes"]
+
+
+def test_fig07(runner):
+    check(
+        figures.fig07_pressure_alloc_order(runner, workloads=("bfs",)),
+        ["thp_ideal", "thp_natural", "thp_property_first"],
+    )
+
+
+def test_fig07b(runner):
+    result = figures.fig07b_pressure_sweep(
+        runner, levels=(0.0, 1.0)
+    )
+    check(result, ["free_gb", "base4k", "thp_natural"], min_rows=2)
+
+
+def test_pagecache(runner):
+    check(
+        figures.page_cache_interference(runner),
+        ["thp_tmpfs_remote", "thp_local_cache"],
+    )
+
+
+def test_fig08(runner):
+    check(
+        figures.fig08_fragmentation(runner, workloads=("bfs",)),
+        ["base4k_fragmented", "thp_natural", "thp_property_first"],
+    )
+
+
+def test_fig09(runner):
+    result = figures.fig09_frag_sweep(runner, levels=(0.0, 0.5))
+    check(result, ["frag_level", "thp_natural"], min_rows=2)
+
+
+def test_fig10(runner):
+    check(
+        figures.fig10_selective_thp(runner, workloads=("bfs",)),
+        ["dbg_4k", "thp", "dbg_thp", "selective_50_dbg",
+         "selective_100_dbg"],
+    )
+
+
+def test_fig11(runner):
+    result = figures.fig11_selectivity_sweep(
+        runner, fractions=(0.0, 1.0)
+    )
+    check(result, ["reorder", "s", "speedup"], min_rows=4)
+
+
+def test_dbg_overhead(runner):
+    result = figures.dbg_overhead(runner, workloads=("bfs",))
+    check(result, ["preprocess_fraction"])
+    assert result.rows[0]["preprocess_fraction"] > 0
+
+
+def test_headline(runner):
+    result = figures.headline_summary(runner, workloads=("bfs",))
+    check(
+        result,
+        ["selective_speedup", "pct_of_unbounded", "huge_budget_frac"],
+    )
+    assert "geomean" in result.notes
+
+
+def test_ablation_census(runner):
+    result = figures.ablation_alloc_order_census(runner)
+    check(result, ["policy"], min_rows=2)
+
+
+def test_ablation_promotion(runner):
+    check(
+        figures.ablation_promotion_path(runner),
+        [
+            "fault+compact",
+            "khugepaged-only",
+            "no-compact",
+            "fault+compact_prop_huge",
+        ],
+    )
+
+
+def test_ablation_reorder(runner):
+    check(
+        figures.ablation_reorder(runner),
+        ["original", "dbg", "degree-sort", "random"],
+    )
+
+
+def test_figure_result_json_and_series(runner):
+    import json
+
+    result = figures.fig03_tlb_miss_rates(runner, workloads=("bfs",))
+    doc = json.loads(result.to_json())
+    assert doc["figure_id"] == "fig03"
+    assert doc["rows"]
+    series = result.series(
+        "dataset", "dtlb_miss_4k", workload="bfs"
+    )
+    assert "test-small" in series

@@ -1,0 +1,152 @@
+"""Unit tests for the scenario tools: frag, memhog, background noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.mem.frag import Fragmenter
+from repro.mem.memhog import Memhog
+from repro.mem.noise import BackgroundNoise
+from repro.mem.physical import FrameState
+
+
+class TestFragmenter:
+    def test_level_zero_is_noop(self, node):
+        frag = Fragmenter(node)
+        assert frag.fragment(0.0) == 0
+        assert node.fragmentation_level() == 0.0
+
+    def test_level_bounds(self, node):
+        frag = Fragmenter(node)
+        with pytest.raises(ConfigError):
+            frag.fragment(-0.1)
+        with pytest.raises(ConfigError):
+            frag.fragment(1.1)
+
+    def test_half_fragmentation(self, node):
+        frag = Fragmenter(node)
+        regions = frag.fragment(0.5)
+        assert regions == node.num_regions // 2
+        # Each fragmented region keeps exactly one non-movable page.
+        assert (
+            np.count_nonzero(node.state == FrameState.NONMOVABLE) == regions
+        )
+        # Only one page per region was consumed.
+        assert node.free_frame_count == node.num_frames - regions
+        # The fragmentation metric reflects the paper's definition.
+        assert node.fragmentation_level() == pytest.approx(
+            regions * (node.frames_per_region - 1)
+            / node.free_frame_count
+        )
+
+    def test_sentinels_are_nonmovable(self, node):
+        frag = Fragmenter(node)
+        frag.fragment(0.25)
+        assert (
+            node.state[frag.sentinel_frames] == FrameState.NONMOVABLE
+        ).all()
+        # Huge allocation cannot reclaim or compact those regions.
+        owner = node.register_owner(frag)  # dummy owner id
+        pristine_before = node.pristine_region_count()
+        for _ in range(pristine_before):
+            assert node.alloc_huge_region(owner) is not None
+        assert node.alloc_huge_region(owner) is None
+
+    def test_release(self, node):
+        frag = Fragmenter(node)
+        frag.fragment(0.5)
+        frag.release()
+        assert node.free_frame_count == node.num_frames
+
+    def test_needs_pristine_regions(self, node):
+        """Free memory without pristine regions cannot be fragmented."""
+        hog = Memhog(node)
+        huge = node.config.pages.huge_page_size
+        hog.leave_free_bytes(2 * huge)
+        # Poison the remaining free regions so none is pristine.
+        BackgroundNoise(node).scatter(nonmovable_bytes=2 * huge)
+        frag = Fragmenter(node)
+        with pytest.raises(OutOfMemoryError):
+            frag.fragment(1.0)
+
+
+class TestMemhog:
+    def test_occupy_pins(self, node):
+        hog = Memhog(node)
+        pages = hog.occupy_bytes(node.config.pages.huge_page_size)
+        assert pages == node.frames_per_region
+        assert (node.state[hog.frames] == FrameState.PINNED).all()
+
+    def test_leave_free(self, node):
+        hog = Memhog(node)
+        target = 5 * node.config.pages.huge_page_size
+        hog.leave_free_bytes(target)
+        assert node.free_bytes == target
+
+    def test_leave_free_more_than_available(self, node):
+        hog = Memhog(node)
+        assert hog.leave_free_bytes(node.free_bytes * 2) == 0
+
+    def test_negative_rejected(self, node):
+        with pytest.raises(ConfigError):
+            Memhog(node).occupy_bytes(-1)
+
+    def test_release(self, node):
+        hog = Memhog(node)
+        hog.occupy_bytes(node.free_bytes // 2)
+        hog.release()
+        assert node.free_frame_count == node.num_frames
+
+    def test_pinned_blocks_huge_allocation_when_full(self, node):
+        hog = Memhog(node)
+        hog.leave_free_bytes(node.config.pages.base_page_size * 4)
+        owner = node.register_owner(hog)
+        assert node.alloc_huge_region(owner) is None
+
+
+class TestBackgroundNoise:
+    def test_nonmovable_poisons_regions(self, node):
+        noise = BackgroundNoise(node)
+        huge = node.config.pages.huge_page_size
+        placed_nm, placed_m = noise.scatter(nonmovable_bytes=4 * huge)
+        assert placed_nm == 4
+        assert placed_m == 0
+        # 4 regions are no longer pristine; only 4 pages consumed.
+        assert node.pristine_region_count() == node.num_regions - 4
+        assert node.free_frame_count == node.num_frames - 4
+
+    def test_movable_noise_is_compactable(self, node):
+        noise = BackgroundNoise(node)
+        huge = node.config.pages.huge_page_size
+        # Poison every region with movable noise.
+        noise.scatter(movable_bytes=node.num_regions * huge)
+        assert node.pristine_region_count() == 0
+        owner = node.register_owner(noise)
+        # Compaction can still assemble a region (migrating noise).
+        assert node.alloc_huge_region(owner) is not None
+
+    def test_nonmovable_noise_not_compactable(self, node):
+        noise = BackgroundNoise(node)
+        huge = node.config.pages.huge_page_size
+        noise.scatter(nonmovable_bytes=node.num_regions * huge)
+        owner = node.register_owner(noise)
+        assert node.alloc_huge_region(owner) is None
+
+    def test_capped_by_pristine_regions(self, node):
+        noise = BackgroundNoise(node)
+        huge = node.config.pages.huge_page_size
+        placed_nm, _ = noise.scatter(
+            nonmovable_bytes=10 * node.num_regions * huge
+        )
+        assert placed_nm == node.num_regions
+
+    def test_release(self, node):
+        noise = BackgroundNoise(node)
+        huge = node.config.pages.huge_page_size
+        noise.scatter(nonmovable_bytes=8 * huge, movable_bytes=4 * huge)
+        noise.release()
+        assert node.free_frame_count == node.num_frames
+
+    def test_rejects_negative(self, node):
+        with pytest.raises(ConfigError):
+            BackgroundNoise(node).scatter(nonmovable_bytes=-1)

@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    path_graph,
+    power_law_graph,
+    rmat_graph,
+    uniform_graph,
+)
+
+
+class TestRmat:
+    def test_dimensions(self):
+        g = rmat_graph(scale=10, num_edges=5000, seed=1)
+        assert g.num_vertices == 1024
+        assert g.num_edges == 5000
+
+    def test_deterministic(self):
+        a = rmat_graph(scale=8, num_edges=1000, seed=42)
+        b = rmat_graph(scale=8, num_edges=1000, seed=42)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_seed_changes_graph(self):
+        a = rmat_graph(scale=8, num_edges=1000, seed=1)
+        b = rmat_graph(scale=8, num_edges=1000, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_power_law_in_degrees(self):
+        """R-MAT must produce a skewed in-degree distribution: the top
+        1% of vertices receive far more than 1% of edges."""
+        g = rmat_graph(scale=12, num_edges=65536, seed=3)
+        ins = np.sort(g.in_degrees())[::-1]
+        top = ins[: max(1, g.num_vertices // 100)].sum()
+        assert top / g.num_edges > 0.08
+
+    def test_shuffle_scatters_hubs(self):
+        """With label shuffling, hot vertices are spread over the id
+        space (no concentration in the low ids)."""
+        g = rmat_graph(scale=12, num_edges=65536, seed=3,
+                       shuffle_labels=True)
+        ins = g.in_degrees()
+        order = np.argsort(-ins)
+        hot = order[: g.num_vertices // 20]
+        # Hot ids should look uniform: mean near the middle.
+        assert abs(hot.mean() / g.num_vertices - 0.5) < 0.15
+
+    def test_unshuffled_hubs_at_low_ids(self):
+        g = rmat_graph(scale=12, num_edges=65536, seed=3,
+                       shuffle_labels=False)
+        ins = g.in_degrees()
+        order = np.argsort(-ins)
+        hot = order[: g.num_vertices // 20]
+        assert hot.mean() / g.num_vertices < 0.4
+
+    def test_weighted(self):
+        g = rmat_graph(scale=6, num_edges=100, seed=1, weighted=True)
+        assert g.weights is not None
+        assert (g.weights >= 1).all()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(scale=4, num_edges=10, a=0.9, b=0.9, c=0.9)
+
+
+class TestPowerLaw:
+    def test_dimensions(self):
+        g = power_law_graph(num_vertices=500, num_edges=3000, seed=1)
+        assert g.num_vertices == 500
+        assert g.num_edges == 3000
+
+    def test_hubs_at_low_ids(self):
+        g = power_law_graph(
+            num_vertices=2000, num_edges=30000, alpha=1.0, seed=2
+        )
+        ins = g.in_degrees()
+        # The first 5% of ids must receive a large share of edges.
+        head = ins[: 100].sum()
+        assert head / g.num_edges > 0.3
+
+    def test_community_fraction_keeps_edges_local(self):
+        g = power_law_graph(
+            num_vertices=4096,
+            num_edges=30000,
+            alpha=0.5,
+            community_fraction=0.9,
+            community_size=256,
+            seed=3,
+        )
+        src, dst = g.edge_endpoints()
+        local = (src // 256) == (dst // 256)
+        assert local.mean() > 0.6
+
+    def test_hub_shuffle_scatters(self):
+        g = power_law_graph(
+            num_vertices=2000, num_edges=30000, alpha=1.0,
+            hub_shuffle=1.0, seed=2,
+        )
+        ins = g.in_degrees()
+        head = ins[:100].sum()
+        assert head / g.num_edges < 0.3
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            power_law_graph(10, 10, community_fraction=1.5)
+        with pytest.raises(GraphError):
+            power_law_graph(10, 10, hub_shuffle=-0.1)
+
+    def test_deterministic(self):
+        a = power_law_graph(100, 500, seed=9)
+        b = power_law_graph(100, 500, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestUniformAndPath:
+    def test_uniform(self):
+        g = uniform_graph(100, 400, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges == 400
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(4).tolist() == []
+
+    def test_weighted_path(self):
+        g = path_graph(4, weighted=True)
+        assert g.weights.tolist() == [1, 1, 1]

@@ -1,0 +1,117 @@
+"""Tests for degree-distribution statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import power_law_graph, uniform_graph
+from repro.graph.stats import (
+    DegreeStats,
+    degree_stats,
+    gini_coefficient,
+    hot_set_fraction,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0)
+
+    def test_single_holder_approaches_one(self):
+        values = np.zeros(1000)
+        values[0] = 100
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1000),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, values):
+        g = gini_coefficient(np.array(values))
+        assert -1e-9 <= g < 1.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1000),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(min_value=2, max_value=9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariant(self, values, factor):
+        base = gini_coefficient(np.array(values))
+        scaled = gini_coefficient(np.array(values) * factor)
+        assert scaled == pytest.approx(base, abs=1e-9)
+
+
+class TestHotSetFraction:
+    def test_uniform_needs_coverage_fraction(self):
+        frac = hot_set_fraction(np.full(100, 5), coverage=0.8)
+        assert frac == pytest.approx(0.8)
+
+    def test_skewed_needs_less(self):
+        degrees = np.ones(100, dtype=np.int64)
+        degrees[:5] = 1000
+        assert hot_set_fraction(degrees, coverage=0.8) <= 0.06
+
+    def test_empty(self):
+        assert hot_set_fraction(np.array([], dtype=np.int64)) == 0.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(min_value=0.1, max_value=0.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_coverage(self, values, coverage):
+        degrees = np.array(values, dtype=np.int64)
+        low = hot_set_fraction(degrees, coverage=coverage * 0.5)
+        high = hot_set_fraction(degrees, coverage=coverage)
+        assert low <= high + 1e-12
+
+
+class TestDegreeStats:
+    def test_power_law_vs_uniform(self):
+        skewed = power_law_graph(4096, 32768, alpha=1.1, seed=3)
+        flat = uniform_graph(4096, 32768, seed=3)
+        s = degree_stats(skewed)
+        u = degree_stats(flat)
+        assert s.gini > u.gini
+        assert s.hot_set_fraction < u.hot_set_fraction
+        assert s.max_degree > u.max_degree
+
+    def test_skew_class_labels(self):
+        base = dict(max_degree=1, average_degree=1.0, gini=0.5,
+                    coverage=0.8, zero_degree_fraction=0.0)
+        assert DegreeStats(hot_set_fraction=0.01, **base).skew_class == "extreme"
+        assert DegreeStats(hot_set_fraction=0.2, **base).skew_class == "high"
+        assert DegreeStats(hot_set_fraction=0.5, **base).skew_class == "moderate"
+        assert DegreeStats(hot_set_fraction=0.9, **base).skew_class == "low"
+
+    def test_zero_degree_fraction(self):
+        g = CsrGraph.from_edges(np.array([0]), np.array([1]), 4)
+        stats = degree_stats(g)
+        assert stats.zero_degree_fraction == pytest.approx(0.75)
+
+    def test_evaluation_datasets_are_skewed(self):
+        """Every Table 2 analogue must sit in the regime the paper's
+        optimization targets (a clearly-skewed property access
+        distribution)."""
+        from repro.graph.datasets import load_dataset
+
+        stats = degree_stats(load_dataset("test-small").graph)
+        assert stats.average_degree > 0

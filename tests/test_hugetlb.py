@@ -1,0 +1,153 @@
+"""Tests for the hugetlbfs-style explicit reservation pool."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny
+from repro.core.plan import PlacementPlan
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    OutOfMemoryError,
+)
+from repro.graph.generators import uniform_graph
+from repro.machine.machine import Machine
+from repro.mem.hugetlb import HugetlbPool
+from repro.mem.physical import FrameState
+from repro.mem.thp import ThpPolicy
+from repro.mem.vmm import VirtualMemoryManager
+from repro.workloads.base import ARRAY_PROPERTY
+from repro.workloads.bfs import Bfs
+
+
+class TestPool:
+    def test_reserve_pins_regions(self, node):
+        pool = HugetlbPool(node)
+        assert pool.reserve(3) == 3
+        assert pool.available == 3
+        assert pool.reserved == 3
+        pinned = np.count_nonzero(node.state == FrameState.PINNED)
+        assert pinned == 3 * node.frames_per_region
+
+    def test_reserve_caps_at_available_regions(self, node):
+        pool = HugetlbPool(node)
+        got = pool.reserve(node.num_regions + 10)
+        assert got == node.num_regions
+
+    def test_take_and_give_back(self, node):
+        pool = HugetlbPool(node)
+        pool.reserve(1)
+        region = pool.take()
+        assert pool.available == 0
+        with pytest.raises(OutOfMemoryError):
+            pool.take()
+        pool.give_back(region)
+        assert pool.available == 1
+        with pytest.raises(AllocationError):
+            pool.give_back(region)  # not taken anymore
+
+    def test_release(self, node):
+        pool = HugetlbPool(node)
+        pool.reserve(4)
+        pool.take()
+        pool.release()
+        assert node.free_frame_count == node.num_frames
+
+    def test_reservation_survives_fragmentation(self, node):
+        """The boot-time property: frag cannot touch reserved regions."""
+        from repro.mem.frag import Fragmenter
+
+        pool = HugetlbPool(node)
+        pool.reserve(2)
+        Fragmenter(node).fragment(1.0)
+        assert pool.available == 2
+
+
+class TestVmmIntegration:
+    def test_back_chunk_from_pool(self, node, tiny_cfg):
+        vmm = VirtualMemoryManager(node, ThpPolicy.never(), tiny_cfg)
+        pool = HugetlbPool(node)
+        pool.reserve(2)
+        vma = vmm.mmap("property_array", 2 * tiny_cfg.pages.huge_page_size)
+        vmm.back_chunk_from_pool(vma, 0, pool)
+        assert vma.is_huge[: tiny_cfg.pages.frames_per_huge].all()
+        assert pool.available == 1
+        # Double-mapping the same chunk is an error.
+        with pytest.raises(AllocationError):
+            vmm.back_chunk_from_pool(vma, 0, pool)
+
+    def test_pooled_chunks_cannot_be_demoted(self, node, tiny_cfg):
+        vmm = VirtualMemoryManager(node, ThpPolicy.never(), tiny_cfg)
+        pool = HugetlbPool(node)
+        pool.reserve(1)
+        vma = vmm.mmap("property_array", tiny_cfg.pages.huge_page_size)
+        vmm.back_chunk_from_pool(vma, 0, pool)
+        with pytest.raises(AllocationError):
+            vmm.demote_chunk(vma, 0)
+
+    def test_unmap_returns_regions_to_pool(self, node, tiny_cfg):
+        vmm = VirtualMemoryManager(node, ThpPolicy.never(), tiny_cfg)
+        pool = HugetlbPool(node)
+        pool.reserve(1)
+        vma = vmm.mmap("property_array", tiny_cfg.pages.huge_page_size)
+        vmm.back_chunk_from_pool(vma, 0, pool)
+        vmm.touch(vma)
+        vmm.unmap(vma)
+        assert pool.available == 1
+        assert pool.reserved == 1
+
+    def test_partial_chunk_rejected(self, node, tiny_cfg):
+        vmm = VirtualMemoryManager(node, ThpPolicy.never(), tiny_cfg)
+        pool = HugetlbPool(node)
+        pool.reserve(1)
+        vma = vmm.mmap("property_array", tiny_cfg.pages.base_page_size)
+        with pytest.raises(AllocationError):
+            vmm.back_chunk_from_pool(vma, 0, pool)
+
+
+class TestMachineIntegration:
+    def test_plan_validation(self):
+        with pytest.raises(ConfigError):
+            PlacementPlan(
+                advise_fractions={ARRAY_PROPERTY: 1.0},
+                hugetlb_fractions={ARRAY_PROPERTY: 1.0},
+            )
+
+    def test_regions_needed(self, tiny_cfg):
+        plan = PlacementPlan(hugetlb_fractions={ARRAY_PROPERTY: 1.0})
+        huge = tiny_cfg.pages.huge_page_size
+        assert plan.hugetlb_regions_needed(
+            {ARRAY_PROPERTY: 3 * huge + 1}, huge
+        ) == 4
+
+    def test_end_to_end_property_backed(self):
+        graph = uniform_graph(16384, 65536, seed=4)
+        machine = Machine(tiny(), ThpPolicy.never())
+        machine.reserve_hugetlb(4)
+        plan = PlacementPlan(
+            hugetlb_fractions={ARRAY_PROPERTY: 1.0}, label="hugetlb"
+        )
+        metrics = machine.run(Bfs(graph), plan=plan)
+        assert metrics.huge_fraction_per_array["property_array"] > 0.9
+        assert metrics.huge_fraction_per_array["edge_array"] == 0.0
+        # The pool is intact for the next run.
+        assert machine.hugetlb_pool.available == 4
+
+    def test_reservation_immune_to_pressure_and_frag(self):
+        """The key contrast with THP: reserve at boot, then memhog +
+        full fragmentation, and the property array still gets its huge
+        pages."""
+        graph = uniform_graph(16384, 65536, seed=4)
+        machine = Machine(tiny(), ThpPolicy.never())
+        machine.reserve_hugetlb(2)
+        from repro.workloads.layout import MemoryLayout
+
+        wss = MemoryLayout(Bfs(graph)).total_bytes
+        machine.memhog_leave_free(wss + 4 * 4096)
+        machine.fragment(1.0)
+        machine.finish_setup()
+        plan = PlacementPlan(
+            hugetlb_fractions={ARRAY_PROPERTY: 1.0}, label="hugetlb"
+        )
+        metrics = machine.run(Bfs(graph), plan=plan)
+        assert metrics.huge_fraction_per_array["property_array"] > 0.9

@@ -1,0 +1,186 @@
+"""Integration tests: the paper's qualitative results must hold on the
+SCALED profile (DESIGN.md §6).
+
+These are the acceptance tests of the reproduction: each asserts one of
+the orderings/crossovers the paper reports, on the real evaluation
+machine profile with the kron-s input (the paper's synthetic network).
+They are marked ``slow`` (a few seconds each; results are shared through
+a module-scoped runner cache).
+"""
+
+import pytest
+
+from repro.experiments.harness import ExperimentRunner
+from repro.experiments.policies import POLICIES, selective_policy
+from repro.experiments.scenarios import (
+    constrained,
+    fragmented,
+    fresh,
+    oversubscribed,
+)
+
+pytestmark = pytest.mark.slow
+
+WORKLOAD = "bfs"
+DATASET = "kron-s"
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def base_fresh(runner):
+    return runner.run_cell(WORKLOAD, DATASET, POLICIES["base4k"], fresh())
+
+
+@pytest.fixture(scope="module")
+def thp_fresh(runner):
+    return runner.run_cell(WORKLOAD, DATASET, POLICIES["thp"], fresh())
+
+
+class TestExpectation1And2_MissRates:
+    def test_4k_miss_rates_in_paper_band(self, base_fresh):
+        """Paper Fig. 3: 12.6-47.6% DTLB miss at 4KB; most misses walk."""
+        assert 0.12 <= base_fresh.dtlb_miss_rate <= 0.55
+        assert base_fresh.walk_rate >= 0.5 * base_fresh.dtlb_miss_rate
+
+    def test_thp_roughly_halves_misses_and_kills_walks(
+        self, base_fresh, thp_fresh
+    ):
+        assert thp_fresh.walk_rate < 0.05 * base_fresh.walk_rate + 0.01
+        assert thp_fresh.dtlb_miss_rate < base_fresh.dtlb_miss_rate
+
+    def test_thp_speedup_fresh(self, base_fresh, thp_fresh):
+        """Unbounded THP gives a significant speedup."""
+        assert thp_fresh.speedup_over(base_fresh) > 1.2
+
+
+class TestExpectation3And4_PressureAndOrder:
+    def test_greedy_thp_loses_gain_under_pressure(
+        self, runner, base_fresh, thp_fresh
+    ):
+        scenario = constrained(0.5)
+        base = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["base4k"], scenario
+        )
+        thp = runner.run_cell(WORKLOAD, DATASET, POLICIES["thp"], scenario)
+        # Baseline unaffected by pressure.
+        assert base.speedup_over(base_fresh) == pytest.approx(1.0, abs=0.05)
+        # Greedy THP keeps less than a third of its fresh-boot gain.
+        fresh_gain = thp_fresh.speedup_over(base_fresh) - 1.0
+        pressured_gain = thp.speedup_over(base) - 1.0
+        assert pressured_gain < fresh_gain / 3
+
+    def test_property_first_restores_gain(self, runner, thp_fresh,
+                                          base_fresh):
+        scenario = constrained(0.5)
+        base = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["base4k"], scenario
+        )
+        opt = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["thp-opt"], scenario
+        )
+        fresh_gain = thp_fresh.speedup_over(base_fresh) - 1.0
+        opt_gain = opt.speedup_over(base) - 1.0
+        assert opt_gain > 0.8 * fresh_gain
+
+    def test_property_array_starves_under_natural_order(self, runner):
+        thp = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["thp"], constrained(0.5)
+        )
+        opt = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["thp-opt"], constrained(0.5)
+        )
+        assert thp.huge_fraction_per_array["property_array"] < 0.2
+        assert opt.huge_fraction_per_array["property_array"] > 0.9
+
+
+class TestExpectation5_Oversubscription:
+    def test_order_of_magnitude_collapse(self, runner, base_fresh):
+        scenario = oversubscribed(0.5)
+        base = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["base4k"], scenario
+        )
+        thp = runner.run_cell(WORKLOAD, DATASET, POLICIES["thp"], scenario)
+        assert base_fresh.kernel_cycles * 8 < base.kernel_cycles
+        assert base_fresh.kernel_cycles * 8 < thp.kernel_cycles
+        assert base.swap_ins > 0
+
+
+class TestExpectation6_PropertyArrayDominates:
+    def test_property_walk_share(self, base_fresh):
+        """Fig. 4: the property array dominates page walks."""
+        per = base_fresh.per_array_translation()
+        walks = {name: c["walks"] for name, c in per.items()}
+        total = sum(walks.values())
+        assert walks["property_array"] / total > 0.7
+
+    def test_property_only_nearly_matches_full_thp(
+        self, runner, base_fresh, thp_fresh
+    ):
+        """Fig. 5: madvise on the property array alone achieves most of
+        the system-wide THP speedup with a fraction of the huge pages."""
+        prop = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["madv-property"], fresh()
+        )
+        full_gain = thp_fresh.speedup_over(base_fresh) - 1.0
+        prop_gain = prop.speedup_over(base_fresh) - 1.0
+        assert prop_gain > 0.7 * full_gain
+        assert prop.huge_bytes < 0.2 * thp_fresh.huge_bytes
+        # Vertex/edge-only THPs help far less.
+        edge = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["madv-edge"], fresh()
+        )
+        assert (edge.speedup_over(base_fresh) - 1.0) < 0.5 * prop_gain
+
+
+class TestExpectation7_SelectiveThp:
+    def test_selective_beats_greedy_under_frag(self, runner):
+        scenario = fragmented(0.5)
+        base = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["base4k"], scenario
+        )
+        greedy = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["thp"], scenario
+        )
+        selective = runner.run_cell(
+            WORKLOAD, DATASET, selective_policy(0.2), scenario
+        )
+        assert selective.speedup_over(base) > greedy.speedup_over(base) + 0.1
+
+    def test_headline_bands(self, runner, base_fresh, thp_fresh):
+        """Abstract: speedup over 4K within/near 1.26-1.57x; most of
+        unbounded THP; tiny huge-page budget."""
+        scenario = fragmented(0.5)
+        base = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["base4k"], scenario
+        )
+        selective = runner.run_cell(
+            WORKLOAD, DATASET, selective_policy(0.2), scenario
+        )
+        speedup = selective.speedup_over(base)
+        assert 1.15 <= speedup <= 1.7
+        ideal = thp_fresh.speedup_over(base_fresh)
+        assert 0.7 <= speedup / ideal <= 1.05
+        assert 0.003 <= selective.huge_footprint_fraction <= 0.06
+
+    def test_dbg_saturates_small_s(self, runner):
+        """Fig. 11: with DBG, s=20% captures most of s=100%'s gain; the
+        original (shuffled) order does not."""
+        scenario = fragmented(0.5)
+        base = runner.run_cell(
+            WORKLOAD, DATASET, POLICIES["base4k"], scenario
+        )
+
+        def gain(policy):
+            run = runner.run_cell(WORKLOAD, DATASET, policy, scenario)
+            return run.speedup_over(base) - 1.0
+
+        dbg_small = gain(selective_policy(0.2, reorder="dbg"))
+        dbg_full = gain(selective_policy(1.0, reorder="dbg"))
+        orig_small = gain(selective_policy(0.2, reorder="original"))
+        orig_full = gain(selective_policy(1.0, reorder="original"))
+        assert dbg_small > 0.75 * dbg_full
+        assert orig_small < 0.5 * orig_full

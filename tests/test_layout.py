@@ -1,0 +1,70 @@
+"""Unit tests for memory layout and allocation order."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import (
+    ARRAY_EDGE,
+    ARRAY_PROPERTY,
+    ARRAY_RANK,
+    ARRAY_VALUES,
+    ARRAY_VERTEX,
+)
+from repro.workloads.bfs import Bfs
+from repro.workloads.layout import (
+    ELEMENT_BYTES,
+    AllocationOrder,
+    MemoryLayout,
+)
+from repro.workloads.pagerank import PageRank
+from repro.workloads.sssp import Sssp
+
+
+class TestNaturalOrder:
+    def test_property_last(self, small_graph):
+        layout = MemoryLayout(Bfs(small_graph))
+        seq = [s.array_id for s in layout.allocation_sequence()]
+        assert seq == [ARRAY_VERTEX, ARRAY_EDGE, ARRAY_PROPERTY]
+
+    def test_sssp_values_before_property(self, small_weighted_graph):
+        layout = MemoryLayout(Sssp(small_weighted_graph))
+        seq = [s.array_id for s in layout.allocation_sequence()]
+        assert seq == [
+            ARRAY_VERTEX,
+            ARRAY_EDGE,
+            ARRAY_VALUES,
+            ARRAY_PROPERTY,
+        ]
+
+
+class TestPropertyFirst:
+    def test_property_hoisted(self, small_graph):
+        layout = MemoryLayout(
+            Bfs(small_graph), AllocationOrder.PROPERTY_FIRST
+        )
+        seq = [s.array_id for s in layout.allocation_sequence()]
+        assert seq[0] == ARRAY_PROPERTY
+        assert seq[1:] == [ARRAY_VERTEX, ARRAY_EDGE]
+
+    def test_pagerank_rank_also_hoisted(self, small_graph):
+        layout = MemoryLayout(
+            PageRank(small_graph), AllocationOrder.PROPERTY_FIRST
+        )
+        seq = [s.array_id for s in layout.allocation_sequence()]
+        assert seq[:2] == [ARRAY_PROPERTY, ARRAY_RANK]
+
+
+class TestSizes:
+    def test_total_bytes(self, small_graph):
+        layout = MemoryLayout(Bfs(small_graph))
+        v = small_graph.num_vertices
+        e = small_graph.num_edges
+        assert layout.total_bytes == ((v + 1) + e + v) * ELEMENT_BYTES
+
+    def test_spec_lookup(self, small_graph):
+        layout = MemoryLayout(Bfs(small_graph))
+        spec = layout.spec(ARRAY_PROPERTY)
+        assert spec.name == "property_array"
+        assert spec.length_bytes == small_graph.num_vertices * ELEMENT_BYTES
+        with pytest.raises(WorkloadError):
+            layout.spec(ARRAY_VALUES)  # BFS has no values array

@@ -1,0 +1,123 @@
+"""Tests for run metrics and the kernel ledger."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.machine.metrics import RunMetrics
+from repro.mem.stats import KernelLedger
+from repro.mem.swap import SwapDevice
+from repro.tlb.hierarchy import TranslationStats
+
+
+class TestKernelLedger:
+    def test_event_costing(self):
+        cost = CostModel(minor_fault=100.0)
+        ledger = KernelLedger(cost=cost)
+        ledger.minor_fault(5)
+        assert ledger.counts["minor_fault"] == 5
+        assert ledger.cycles["minor_fault"] == 500
+        assert ledger.total_cycles == 500
+
+    def test_zero_count_ignored(self):
+        ledger = KernelLedger(cost=CostModel())
+        ledger.add("x", 0, 100.0)
+        assert "x" not in ledger.counts
+
+    def test_huge_fault_charges_prep(self):
+        cost = CostModel(huge_fault_extra=1000.0, base_page_prep=10.0)
+        ledger = KernelLedger(cost=cost)
+        ledger.huge_fault(frames_per_huge=16)
+        assert ledger.counts["huge_fault"] == 1
+        assert ledger.counts["huge_prep_frames"] == 16
+        assert ledger.total_cycles == 1000 + 160
+
+    def test_promotion_includes_flush(self):
+        ledger = KernelLedger(cost=CostModel())
+        ledger.promotion(frames_per_huge=8)
+        assert ledger.counts["promotions"] == 1
+        assert ledger.counts["promotion_frames"] == 8
+        assert ledger.counts["tlb_flush"] == 1
+
+    def test_cycles_for_and_snapshot(self):
+        ledger = KernelLedger(cost=CostModel())
+        ledger.swap_in(2)
+        ledger.swap_out(1)
+        assert ledger.cycles_for("swap_in", "swap_out") == (
+            ledger.cycles["swap_in"] + ledger.cycles["swap_out"]
+        )
+        snap = ledger.snapshot()
+        assert snap["counts"]["swap_in"] == 2
+
+    def test_merge(self):
+        a = KernelLedger(cost=CostModel())
+        b = KernelLedger(cost=CostModel())
+        a.minor_fault(1)
+        b.minor_fault(2)
+        a.merge(b)
+        assert a.counts["minor_fault"] == 3
+
+
+class TestSwapDevice:
+    def test_counters(self):
+        dev = SwapDevice()
+        dev.page_out(3)
+        dev.page_in(2)
+        assert dev.total_io == 5
+        dev.reset()
+        assert dev.total_io == 0
+
+
+class TestRunMetrics:
+    def make(self, compute=1000, init=100, pre=10):
+        return RunMetrics(
+            workload="bfs",
+            policy_label="x",
+            compute_cycles=compute,
+            init_cycles=init,
+            preprocess_cycles=pre,
+        )
+
+    def test_cycle_aggregates(self):
+        m = self.make()
+        assert m.total_cycles == 1110
+        assert m.kernel_cycles == 1010
+
+    def test_speedup(self):
+        fast = self.make(compute=500, pre=0)
+        slow = self.make(compute=1000, pre=0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_huge_footprint_fraction(self):
+        m = self.make()
+        m.footprint_bytes = 1000
+        m.huge_bytes = 250
+        assert m.huge_footprint_fraction == pytest.approx(0.25)
+        m.footprint_bytes = 0
+        assert m.huge_footprint_fraction == 0.0
+
+    def test_rates_delegate_to_translation(self):
+        m = self.make()
+        stats = TranslationStats()
+        stats.accesses[0] = 10
+        stats.l1_misses[0] = 5
+        stats.walks[0] = 2
+        m.translation = stats
+        assert m.dtlb_miss_rate == pytest.approx(0.5)
+        assert m.walk_rate == pytest.approx(0.2)
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        for key in (
+            "workload",
+            "policy",
+            "kernel_cycles",
+            "dtlb_miss_rate",
+            "huge_footprint_fraction",
+        ):
+            assert key in summary
+
+    def test_per_array_translation(self):
+        m = self.make()
+        m.translation.accesses[3] = 7
+        m.array_names = {3: "property_array"}
+        assert m.per_array_translation()["property_array"]["accesses"] == 7

@@ -1,0 +1,96 @@
+"""Unit tests for the page cache model (§4.3 single-use interference)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.page_cache import PageCache
+from repro.mem.physical import PhysicalMemory
+
+
+@pytest.fixture
+def cache(physical: PhysicalMemory) -> PageCache:
+    return PageCache(physical.nodes)
+
+
+class TestReadFile:
+    def test_populates_cache(self, cache, physical):
+        node = physical.node(0)
+        page = node.config.pages.base_page_size
+        frames = cache.read_file("g.el", 10 * page, node_id=0)
+        assert frames == 10
+        assert cache.cached_bytes(0) == 10 * page
+        assert node.free_frame_count == node.num_frames - 10
+
+    def test_direct_io_bypasses(self, cache, physical):
+        frames = cache.read_file("g.el", 65536, node_id=0, direct_io=True)
+        assert frames == 0
+        assert cache.cached_bytes(0) == 0
+
+    def test_partial_population_under_pressure(self, cache, physical):
+        node = physical.node(0)
+        page = node.config.pages.base_page_size
+        # Fill the node almost completely first.
+        cache.read_file("big", node.free_bytes - 2 * page, node_id=0)
+        frames = cache.read_file("late", 10 * page, node_id=0)
+        assert frames == 2  # admission capped by free memory
+
+    def test_remote_node_placement(self, cache, physical):
+        cache.read_file("g.el", 65536, node_id=1)
+        assert cache.cached_bytes(1) > 0
+        assert cache.cached_bytes(0) == 0
+        assert physical.node(0).free_frame_count == physical.node(0).num_frames
+
+    def test_unknown_node(self, cache):
+        with pytest.raises(ConfigError):
+            cache.read_file("g.el", 4096, node_id=7)
+
+
+class TestEviction:
+    def test_evict_file(self, cache, physical):
+        node = physical.node(0)
+        cache.read_file("a", 65536, node_id=0)
+        cache.read_file("b", 65536, node_id=0)
+        cache.evict_file("a")
+        assert cache.cached_bytes(0) == 65536
+        cache.evict_file("missing")  # no-op
+
+    def test_drop_caches(self, cache, physical):
+        node = physical.node(0)
+        cache.read_file("a", 65536, node_id=0)
+        cache.read_file("b", 65536, node_id=1)
+        dropped = cache.drop_caches()
+        assert dropped == 32
+        assert cache.cached_bytes(0) == 0
+        assert cache.cached_bytes(1) == 0
+        assert node.free_frame_count == node.num_frames
+
+
+class TestReclaimIntegration:
+    def test_cache_frames_are_reclaimable_for_huge_allocation(
+        self, cache, physical
+    ):
+        """Fault-path reclaim may drop cache pages to assemble huge
+        regions — the §4.3 interference is repairable at a cost."""
+        node = physical.node(0)
+        cache.read_file("g.el", node.free_bytes, node_id=0)
+        assert node.pristine_region_count() == 0
+        owner = node.register_owner(cache)
+        region = node.alloc_huge_region(
+            owner, allow_compaction=True, allow_reclaim=True
+        )
+        assert region is not None
+        assert node.ledger.counts["reclaim"] >= node.frames_per_region
+        # The cache lost exactly the reclaimed bytes.
+        page = node.config.pages.base_page_size
+        assert cache.cached_bytes(0) <= node.num_frames * page
+
+    def test_reclaim_disallowed_blocks(self, cache, physical):
+        node = physical.node(0)
+        cache.read_file("g.el", node.free_bytes, node_id=0)
+        owner = node.register_owner(cache)
+        assert (
+            node.alloc_huge_region(
+                owner, allow_compaction=False, allow_reclaim=False
+            )
+            is None
+        )

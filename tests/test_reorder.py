@@ -1,0 +1,104 @@
+"""Unit tests for DBG and baseline reorderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.reorder import (
+    DBG_COST,
+    DBG_DEFAULT_THRESHOLDS,
+    ORDERINGS,
+    apply_order,
+    dbg_bin_sizes,
+    dbg_order,
+    degree_sort_order,
+    identity_order,
+    random_order,
+)
+
+
+def star_graph(leaves: int) -> CsrGraph:
+    """All leaves point at vertex `leaves` (the hub has max in-degree)."""
+    src = np.arange(leaves, dtype=np.int64)
+    dst = np.full(leaves, leaves, dtype=np.int64)
+    return CsrGraph.from_edges(src, dst, leaves + 1)
+
+
+class TestDbgOrder:
+    def test_hub_moves_to_front(self):
+        g = star_graph(64)
+        perm = dbg_order(g)
+        assert perm[64] == 0  # the hub gets the first new id
+
+    def test_stable_within_bins(self):
+        """Cold vertices keep their relative order (structure
+        preservation is what makes DBG lightweight)."""
+        g = star_graph(64)
+        perm = dbg_order(g)
+        cold_new_ids = perm[:64]
+        assert (np.diff(cold_new_ids) > 0).all()
+
+    def test_default_thresholds(self):
+        assert DBG_DEFAULT_THRESHOLDS == (32.0, 16.0, 8.0, 4.0, 2.0, 1.0,
+                                          0.5, 0.0)
+
+    def test_threshold_validation(self):
+        g = star_graph(4)
+        with pytest.raises(GraphError):
+            dbg_order(g, thresholds=(4.0, 2.0))  # missing catch-all
+        with pytest.raises(GraphError):
+            dbg_order(g, thresholds=(2.0, 4.0, 0.0))  # not decreasing
+
+    def test_out_degree_variant(self):
+        g = star_graph(8)
+        perm = dbg_order(g, use_in_degree=False)
+        # By out-degree all leaves are equal (1) and the hub is coldest.
+        assert perm[8] == 8
+
+    def test_majority_in_last_bin_for_power_law(self):
+        """The paper: 'a majority of vertices occupy the last bin'."""
+        g = power_law_graph(4096, 32768, alpha=1.0, seed=5)
+        bins = dbg_bin_sizes(g)
+        assert bins[-1] + bins[-2] > g.num_vertices / 2
+
+    def test_dbg_concentrates_hot_prefix(self):
+        """After DBG, the leading ids must cover far more accesses than
+        before on a shuffled power-law graph."""
+        g = power_law_graph(
+            2048, 16384, alpha=1.0, hub_shuffle=1.0, seed=6
+        )
+        ins = g.in_degrees()
+        prefix = 2048 // 10
+        before = ins[:prefix].sum() / g.num_edges
+        perm = dbg_order(g)
+        reordered = apply_order(g, perm)
+        after = reordered.in_degrees()[:prefix].sum() / g.num_edges
+        assert after > before + 0.2
+
+    def test_cost_model(self):
+        assert DBG_COST.vertex_traversals == 3
+        assert DBG_COST.accesses(100, 1000) == 300
+
+
+class TestBaselines:
+    def test_identity(self):
+        g = star_graph(4)
+        assert np.array_equal(identity_order(g), np.arange(5))
+
+    def test_degree_sort_puts_hub_first(self):
+        g = star_graph(16)
+        perm = degree_sort_order(g)
+        assert perm[16] == 0
+
+    def test_random_deterministic_per_seed(self):
+        g = star_graph(16)
+        assert np.array_equal(random_order(g, 3), random_order(g, 3))
+        assert not np.array_equal(random_order(g, 3), random_order(g, 4))
+
+    def test_orderings_registry(self):
+        g = star_graph(8)
+        for name, make in ORDERINGS.items():
+            perm = make(g)
+            assert np.array_equal(np.sort(perm), np.arange(9)), name

@@ -1,0 +1,128 @@
+"""Property-based tests for the TLB structures (hypothesis).
+
+The key invariant: a set-associative LRU structure with one set is an
+exact LRU cache, and the batch simulation loop must agree with the
+reference single-access path on arbitrary traces.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TlbConfig, TlbGeometry
+from repro.tlb.hierarchy import TranslationHierarchy, TranslationStats
+from repro.tlb.tlb import SetAssociativeTlb
+from repro.tlb.trace import compress_trace
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=300
+)
+
+
+class _LruOracle:
+    """Reference LRU cache built on OrderedDict."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.data: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, key: int) -> bool:
+        if key in self.data:
+            self.data.move_to_end(key, last=False)
+            return True
+        self.data[key] = None
+        self.data.move_to_end(key, last=False)
+        if len(self.data) > self.capacity:
+            self.data.popitem(last=True)
+        return False
+
+
+@given(keys_strategy)
+@settings(max_examples=200, deadline=None)
+def test_fully_associative_matches_lru_oracle(page_ids):
+    """entries == ways => exact LRU behaviour."""
+    tlb = SetAssociativeTlb(TlbGeometry(entries=4, ways=4))
+    oracle = _LruOracle(4)
+    for page in page_ids:
+        key = page << 1
+        assert tlb.access(key) == oracle.access(key)
+
+
+@given(keys_strategy)
+@settings(max_examples=200, deadline=None)
+def test_set_associative_is_per_set_lru(page_ids):
+    """Each set behaves as an independent LRU of `ways` entries."""
+    geometry = TlbGeometry(entries=8, ways=2)
+    tlb = SetAssociativeTlb(geometry)
+    oracles = [_LruOracle(2) for _ in range(geometry.sets)]
+    for page in page_ids:
+        key = page << 1
+        expected = oracles[tlb.set_index(key)].access(key)
+        assert tlb.access(key) == expected
+
+
+@given(keys_strategy)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_never_exceeds_entries(page_ids):
+    tlb = SetAssociativeTlb(TlbGeometry(entries=4, ways=2))
+    for page in page_ids:
+        tlb.access(page << 1)
+        assert tlb.occupancy <= 4
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),  # page
+            st.booleans(),  # huge?
+            st.integers(min_value=0, max_value=4),  # array id
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_batch_simulation_matches_reference_path(accesses):
+    """simulate() must agree exactly with access_one() on any trace."""
+    config = TlbConfig(
+        l1_base=TlbGeometry(entries=2, ways=2),
+        l1_huge=TlbGeometry(entries=2, ways=1),
+        l2=TlbGeometry(entries=8, ways=4),
+    )
+    keys = np.array(
+        [(page << 1) | int(huge) for page, huge, _ in accesses],
+        dtype=np.int64,
+    )
+    aids = np.array([aid for _, _, aid in accesses], dtype=np.uint8)
+
+    ref = TranslationHierarchy(config)
+    outcomes = [ref.access_one(int(k)) for k in keys]
+
+    sim = TranslationHierarchy(config)
+    stats = TranslationStats()
+    sim.simulate(compress_trace(keys, aids), stats)
+
+    assert stats.total_accesses == len(accesses)
+    assert stats.total_l1_misses == sum(1 for o in outcomes if o != "l1")
+    assert stats.total_walks == sum(1 for o in outcomes if o == "walk")
+    # Attribution sums must match totals.
+    assert int(stats.accesses.sum()) == stats.total_accesses
+
+
+@given(keys_strategy)
+@settings(max_examples=100, deadline=None)
+def test_walks_never_exceed_l1_misses(page_ids):
+    config = TlbConfig(
+        l1_base=TlbGeometry(entries=2, ways=2),
+        l1_huge=TlbGeometry(entries=2, ways=2),
+        l2=TlbGeometry(entries=4, ways=4),
+    )
+    h = TranslationHierarchy(config)
+    stats = TranslationStats()
+    keys = np.array([p << 1 for p in page_ids], dtype=np.int64)
+    h.simulate(
+        compress_trace(keys, np.zeros(keys.size, dtype=np.uint8)), stats
+    )
+    assert stats.total_walks <= stats.total_l1_misses <= stats.total_accesses

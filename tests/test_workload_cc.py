@@ -1,0 +1,80 @@
+"""Correctness tests for the Connected Components extension workload."""
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import uniform_graph
+from repro.workloads.cc import ConnectedComponents, symmetrize
+
+
+def drain(workload):
+    for _ in workload.run():
+        pass
+
+
+class TestSymmetrize:
+    def test_doubles_edges(self, small_graph):
+        sym = symmetrize(small_graph)
+        assert sym.num_edges == 2 * small_graph.num_edges
+
+    def test_contains_both_directions(self):
+        g = CsrGraph.from_edges(np.array([0]), np.array([1]), 2)
+        sym = symmetrize(g)
+        assert 1 in sym.neighbors(0)
+        assert 0 in sym.neighbors(1)
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        # 0-1-2 chain, 3-4 pair (directed arbitrarily).
+        g = CsrGraph.from_edges(
+            np.array([0, 2, 4]), np.array([1, 1, 3]), 5
+        )
+        cc = ConnectedComponents(g)
+        drain(cc)
+        labels = cc.result()
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == 3
+        assert cc.num_components() == 2
+
+    def test_matches_networkx_weakly_connected(self, small_graph):
+        cc = ConnectedComponents(small_graph)
+        drain(cc)
+        labels = cc.result()
+        g = nx.DiGraph()
+        g.add_nodes_from(range(small_graph.num_vertices))
+        src, dst = small_graph.edge_endpoints()
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        components = list(nx.weakly_connected_components(g))
+        assert cc.num_components() == len(components)
+        for component in components:
+            component_labels = {int(labels[v]) for v in component}
+            assert len(component_labels) == 1
+            assert min(component) in component_labels
+
+    def test_isolated_vertices_are_singletons(self):
+        g = CsrGraph.from_edges(np.array([0]), np.array([1]), 4)
+        cc = ConnectedComponents(g)
+        drain(cc)
+        assert cc.num_components() == 3
+
+    def test_label_is_min_id(self, small_graph):
+        cc = ConnectedComponents(small_graph)
+        drain(cc)
+        labels = cc.result()
+        for v in range(small_graph.num_vertices):
+            assert labels[v] <= v
+
+    def test_footprint_uses_symmetrized_edges(self, small_graph):
+        from repro.workloads.base import ARRAY_EDGE
+
+        cc = ConnectedComponents(small_graph)
+        assert cc.array_elements(ARRAY_EDGE) == 2 * small_graph.num_edges
+
+    def test_trace_nonempty_and_terminates(self):
+        g = uniform_graph(256, 1024, seed=8)
+        cc = ConnectedComponents(g)
+        total = sum(len(s) for s in cc.run())
+        assert total > 0
+        assert cc.iterations >= 1

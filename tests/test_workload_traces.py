@@ -1,0 +1,165 @@
+"""Tests for the *traces* workloads emit (the paper's Fig. 4 pattern).
+
+These check the instrumentation itself: access counts, interleaving and
+array attribution must reflect the push-based inner loop — one edge-array
+read and one pointer-indirect property access per processed edge, with
+values-array reads for SSSP and rank reads for PageRank.
+"""
+
+import numpy as np
+
+from repro.graph.generators import path_graph, uniform_graph
+from repro.workloads.base import (
+    ARRAY_EDGE,
+    ARRAY_PROPERTY,
+    ARRAY_RANK,
+    ARRAY_VALUES,
+    ARRAY_VERTEX,
+)
+from repro.workloads.bfs import Bfs
+from repro.workloads.pagerank import PageRank
+from repro.workloads.sssp import Sssp
+
+
+def collect(workload):
+    streams = list(workload.run())
+    ids = np.concatenate([s.array_ids for s in streams])
+    idx = np.concatenate([s.indices for s in streams])
+    return streams, ids, idx
+
+
+class TestBfsTrace:
+    def test_edge_and_property_counts_match_processed_edges(
+        self, small_graph
+    ):
+        bfs = Bfs(small_graph, root=0)
+        streams, ids, idx = collect(bfs)
+        edge_accesses = np.count_nonzero(ids == ARRAY_EDGE)
+        prop_accesses = np.count_nonzero(ids == ARRAY_PROPERTY)
+        assert edge_accesses == prop_accesses
+        # Every processed vertex contributes 2 vertex-array reads.
+        vertex_accesses = np.count_nonzero(ids == ARRAY_VERTEX)
+        assert vertex_accesses % 2 == 0
+
+    def test_property_targets_are_edge_destinations(self):
+        g = path_graph(4)
+        bfs = Bfs(g, root=0)
+        streams, ids, idx = collect(bfs)
+        # Path: frontier {0} -> edge 0 -> prop 1; {1} -> prop 2; etc.
+        prop_targets = idx[ids == ARRAY_PROPERTY]
+        assert prop_targets.tolist() == [1, 2, 3]
+        edge_positions = idx[ids == ARRAY_EDGE]
+        assert edge_positions.tolist() == [0, 1, 2]
+
+    def test_interleaving_edge_then_property(self):
+        """Within a stream, each edge read is immediately followed by its
+        property access (the Fig. 4 inner loop)."""
+        g = uniform_graph(64, 512, seed=4)
+        bfs = Bfs(g)
+        streams = list(bfs.run())
+        stream = max(streams, key=len)
+        ids = stream.array_ids
+        edge_positions = np.flatnonzero(ids == ARRAY_EDGE)
+        following = ids[edge_positions + 1]
+        assert (following == ARRAY_PROPERTY).all()
+
+    def test_vertex_reads_precede_edge_bursts(self):
+        g = path_graph(3)
+        bfs = Bfs(g, root=0)
+        streams = list(bfs.run())
+        first = streams[0]
+        # vertex[u], vertex[u+1], edge, property.
+        assert first.array_ids.tolist() == [
+            ARRAY_VERTEX,
+            ARRAY_VERTEX,
+            ARRAY_EDGE,
+            ARRAY_PROPERTY,
+        ]
+        assert first.indices.tolist() == [0, 1, 0, 1]
+
+    def test_one_stream_per_worklist(self):
+        bfs = Bfs(path_graph(5), root=0)
+        streams = list(bfs.run())
+        # Frontiers {0}..{4}: the final vertex is still processed (its
+        # empty neighbor list is scanned), so 5 streams are emitted.
+        assert len(streams) == 5
+        assert bfs.iterations == 5
+
+
+class TestSsspTrace:
+    def test_values_read_per_edge(self, small_weighted_graph):
+        sssp = Sssp(small_weighted_graph, root=0)
+        streams, ids, idx = collect(sssp)
+        edge_accesses = np.count_nonzero(ids == ARRAY_EDGE)
+        values_accesses = np.count_nonzero(ids == ARRAY_VALUES)
+        assert edge_accesses == values_accesses
+
+    def test_source_property_read_per_worklist_vertex(
+        self, small_weighted_graph
+    ):
+        sssp = Sssp(small_weighted_graph, root=0)
+        streams, ids, idx = collect(sssp)
+        vertex_accesses = np.count_nonzero(ids == ARRAY_VERTEX)
+        # Two vertex reads and one source-property read per vertex, so
+        # property accesses = edges + vertices_processed.
+        prop = np.count_nonzero(ids == ARRAY_PROPERTY)
+        edges = np.count_nonzero(ids == ARRAY_EDGE)
+        assert prop == edges + vertex_accesses // 2
+
+
+class TestPageRankTrace:
+    def test_rank_reads_once_per_vertex_per_iteration(self, small_graph):
+        pr = PageRank(small_graph, max_iterations=2)
+        streams, ids, idx = collect(pr)
+        rank_reads = np.count_nonzero(ids == ARRAY_RANK)
+        # Per iteration: V rank reads in the edge phase + V in the
+        # end-of-iteration sweep.
+        assert rank_reads == 2 * 2 * small_graph.num_vertices
+
+    def test_property_accesses_scale_with_iterations(self, small_graph):
+        pr1 = PageRank(small_graph, max_iterations=1)
+        _, ids1, _ = collect(pr1)
+        pr3 = PageRank(small_graph, max_iterations=3)
+        _, ids3, _ = collect(pr3)
+        prop1 = np.count_nonzero(ids1 == ARRAY_PROPERTY)
+        prop3 = np.count_nonzero(ids3 == ARRAY_PROPERTY)
+        assert prop3 == 3 * prop1
+
+    def test_every_edge_touched_each_iteration(self, small_graph):
+        pr = PageRank(small_graph, max_iterations=1)
+        _, ids, idx = collect(pr)
+        edge_positions = idx[ids == ARRAY_EDGE]
+        assert np.array_equal(
+            np.sort(edge_positions), np.arange(small_graph.num_edges)
+        )
+
+
+class TestArrayDeclarations:
+    def test_bfs_arrays(self, small_graph):
+        assert Bfs(small_graph).array_ids() == (
+            ARRAY_VERTEX,
+            ARRAY_EDGE,
+            ARRAY_PROPERTY,
+        )
+
+    def test_sssp_arrays(self, small_weighted_graph):
+        assert Sssp(small_weighted_graph).array_ids() == (
+            ARRAY_VERTEX,
+            ARRAY_EDGE,
+            ARRAY_VALUES,
+            ARRAY_PROPERTY,
+        )
+
+    def test_pagerank_arrays(self, small_graph):
+        assert PageRank(small_graph).array_ids() == (
+            ARRAY_VERTEX,
+            ARRAY_EDGE,
+            ARRAY_RANK,
+            ARRAY_PROPERTY,
+        )
+
+    def test_array_elements(self, small_graph):
+        bfs = Bfs(small_graph)
+        assert bfs.array_elements(ARRAY_VERTEX) == 257
+        assert bfs.array_elements(ARRAY_EDGE) == small_graph.num_edges
+        assert bfs.array_elements(ARRAY_PROPERTY) == 256

@@ -1,0 +1,82 @@
+"""Fault-injection overhead guard.
+
+The fault subsystem must be free when unused: every injection site is a
+single ``injector is not None`` test, so a machine with no fault plan
+runs the exact pre-fault-subsystem hot path.  This benchmark bounds that
+claim empirically on a fig01-style cell (BFS on kron-s, THP, fresh
+boot, SCALED profile):
+
+- *disabled*: no fault plan at all — the seed-equivalent hot path;
+- *armed*: a plan whose every site is armed with probability 0.0, so
+  ``FaultInjector.check`` runs (and draws) at each site but never fires.
+
+The armed run is a strict superset of the disabled run's work, so
+``armed/disabled - 1`` upper-bounds the cost of the guards themselves.
+Both must stay within the 2% budget.  Timings are interleaved
+min-of-N so machine noise cancels rather than accumulates.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.config import scaled
+from repro.faults import FaultPlan, FaultSite
+from repro.graph.datasets import load_dataset
+from repro.machine.machine import Machine
+from repro.mem.thp import ThpPolicy
+from repro.workloads.registry import create_workload
+
+ROUNDS = 5
+OVERHEAD_BUDGET = 0.02
+
+ARMED_NOOP_PLAN = FaultPlan.parse(
+    ",".join(f"{site.value}:0.0" for site in FaultSite)
+)
+
+
+def _run_once(graph, dataset_name: str, faults) -> float:
+    machine = Machine(scaled(), ThpPolicy.always(), faults=faults)
+    workload = create_workload("bfs", graph)
+    gc.collect()
+    start = time.perf_counter()
+    machine.run(workload, dataset=dataset_name)
+    return time.perf_counter() - start
+
+
+def test_no_fault_hot_path_overhead():
+    data = load_dataset("kron-s")
+    # Warm-up: numpy allocators, dataset already loaded above.
+    _run_once(data.graph, data.name, None)
+    disabled = []
+    armed = []
+    for round_index in range(ROUNDS):
+        # Alternate which variant runs first so allocator/frequency
+        # drift within a round does not bias one side systematically.
+        pair = [
+            (disabled, None),
+            (armed, ARMED_NOOP_PLAN),
+        ]
+        if round_index % 2:
+            pair.reverse()
+        for bucket, faults in pair:
+            bucket.append(_run_once(data.graph, data.name, faults))
+    best_disabled = min(disabled)
+    best_armed = min(armed)
+    overhead = best_armed / best_disabled - 1.0
+    print(
+        f"\nfault-injection overhead (fig01-style cell, min of {ROUNDS}):"
+        f"\n  disabled (seed hot path) : {best_disabled * 1e3:8.1f} ms"
+        f"\n  armed, never firing      : {best_armed * 1e3:8.1f} ms"
+        f"\n  overhead                 : {overhead:+.2%}"
+        f"  (budget {OVERHEAD_BUDGET:.0%})"
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"armed-but-idle fault plan costs {overhead:.2%} on the hot path "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    test_no_fault_hot_path_overhead()

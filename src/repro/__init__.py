@@ -42,14 +42,17 @@ from .core import (
 from .errors import (
     AddressError,
     AllocationError,
+    CellBudgetExceededError,
     ConfigError,
     DatasetError,
     ExperimentError,
     GraphError,
+    InjectedFaultError,
     OutOfMemoryError,
     ReproError,
     WorkloadError,
 )
+from .faults import FaultInjector, FaultPlan, FaultSite, FaultSpec
 from .graph import (
     CsrGraph,
     DATASETS,
@@ -77,12 +80,18 @@ __all__ = [
     "AllocationError",
     "AllocationOrder",
     "Bfs",
+    "CellBudgetExceededError",
     "ConfigError",
     "CsrGraph",
     "DATASETS",
     "DatasetError",
     "ExperimentError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "FaultSpec",
     "GraphError",
+    "InjectedFaultError",
     "Machine",
     "MachineConfig",
     "OutOfMemoryError",

@@ -45,6 +45,54 @@ def _add_common_machine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="fault-injection plan: comma list of "
+        "site[:prob|:after=N|:every=N][:max=M] "
+        "(e.g. 'compaction:0.5,swap-out:after=100'); see docs/faults.md",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the fault plan's per-site RNGs (default: 0)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max retries per cell for injected faults (default: 2)",
+    )
+    parser.add_argument(
+        "--cell-budget",
+        type=int,
+        default=None,
+        metavar="ACCESSES",
+        help="cap on simulated accesses per cell (runaway guard; "
+        "default: unlimited)",
+    )
+
+
+def _make_runner(args: argparse.Namespace):
+    from .experiments.harness import ExperimentRunner
+    from .faults.spec import FaultPlan
+
+    plan = None
+    if getattr(args, "faults", None):
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    return ExperimentRunner(
+        config=get_profile(args.profile),
+        fault_plan=plan,
+        max_retries=getattr(args, "retries", 2),
+        cell_budget=getattr(args, "cell_budget", None),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "oversubscribed | constrained:<gb> | fragmented:<level>[:<gb>]",
     )
     _add_common_machine_args(run)
+    _add_resilience_args(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument(
@@ -84,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit JSON instead of a table"
     )
     _add_common_machine_args(figure)
+    _add_resilience_args(figure)
 
     sub.add_parser("datasets", help="list datasets (Table 2)")
     sub.add_parser("policies", help="list named policies")
@@ -139,24 +189,26 @@ def _parse_scenario(spec: str):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiments.harness import ExperimentRunner
+    from .experiments.harness import CellFailure
 
-    runner = ExperimentRunner(config=get_profile(args.profile))
+    runner = _make_runner(args)
     policy = _parse_policy(args.policy)
     scenario = _parse_scenario(args.scenario)
-    metrics = runner.run_cell(args.workload, args.dataset, policy, scenario)
+    result = runner.run_cell(args.workload, args.dataset, policy, scenario)
+    if isinstance(result, CellFailure):
+        print(result.describe(), file=sys.stderr)
+        return 1
     print(f"{args.workload} on {args.dataset} | policy={policy.name} "
           f"| scenario={scenario.name}")
-    for key, value in metrics.summary().items():
+    for key, value in result.summary().items():
         print(f"  {key:26s}: {value}")
-    for name, fraction in metrics.huge_fraction_per_array.items():
+    for name, fraction in result.huge_fraction_per_array.items():
         print(f"  huge[{name}]".ljust(28) + f": {fraction:.1%}")
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .experiments import figures as figure_module
-    from .experiments.harness import ExperimentRunner
 
     functions = {
         "fig01": figure_module.fig01_thp_speedup,
@@ -187,7 +239,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             f"unknown figure {args.figure_id!r}; known: all, "
             + ", ".join(sorted(functions))
         )
-    runner = ExperimentRunner(config=get_profile(args.profile))
+    runner = _make_runner(args)
     kwargs = {}
     if args.workloads:
         kwargs["workloads"] = tuple(args.workloads.split(","))
@@ -198,6 +250,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(result.to_json() if args.json else result.render())
         if len(selected) > 1:
             print()
+    if runner.failures:
+        print(
+            f"{len(runner.failures)} cell(s) failed (graceful degradation):",
+            file=sys.stderr,
+        )
+        for failure in runner.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
     return 0
 
 

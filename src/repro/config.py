@@ -29,7 +29,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from typing import Optional
+
 from .errors import ConfigError
+from .faults.spec import FaultPlan
 from .units import GiB, KiB, MiB, is_power_of_two
 
 
@@ -196,6 +199,11 @@ class MachineConfig:
         khugepaged_scan_interval: simulated accesses between background
             promotion scans; ``0`` disables khugepaged.
         swap_enabled: whether oversubscription swaps instead of failing.
+        fault_plan: optional deterministic fault-injection plan; every
+            :class:`~repro.machine.machine.Machine` built from this
+            config arms a fresh injector from it (see
+            :mod:`repro.faults`).  ``None`` (the default) keeps the
+            fault-free hot path.
     """
 
     name: str
@@ -206,6 +214,7 @@ class MachineConfig:
     num_nodes: int = 2
     khugepaged_scan_interval: int = 1_000_000
     swap_enabled: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

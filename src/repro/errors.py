@@ -47,3 +47,38 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness cell could not be configured or run."""
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic injected fault fired at a named site.
+
+    Raised by :class:`repro.faults.FaultInjector` when a site's trigger
+    matches.  Carries enough context for the harness to attribute the
+    failure (``CellFailure`` site labels) and for tests to assert
+    determinism.
+
+    Attributes:
+        site: the :class:`repro.faults.FaultSite` that fired.
+        hit: 1-based fire count at that site within the injector.
+        evaluation: 1-based site-evaluation index that fired, if known.
+    """
+
+    def __init__(self, site, hit: int, evaluation=None) -> None:
+        self.site = site
+        self.hit = hit
+        self.evaluation = evaluation
+        label = getattr(site, "value", site)
+        detail = f"fire #{hit}"
+        if evaluation is not None:
+            detail += f", evaluation {evaluation}"
+        super().__init__(f"injected fault at site {label!r} ({detail})")
+
+
+class CellBudgetExceededError(ExperimentError):
+    """A cell exceeded its simulated-access budget.
+
+    The harness's runaway guard: raised by the machine's compute loop
+    when a cell's simulated accesses pass the configured cap, so a
+    misbehaving workload degrades into a structured ``CellFailure``
+    instead of burning a figure batch's time budget.
+    """

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..workloads.base import ARRAY_NAMES
-from .harness import ExperimentRunner
+from .harness import CellFailure, ExperimentRunner
 from .policies import POLICIES, Policy, selective_policy
 from .reporting import format_table, geomean
 from .scenarios import (
@@ -49,12 +49,36 @@ class FigureResult:
         )
         if self.notes:
             out += f"\n  note: {self.notes}"
+        failed = self.failed_cells()
+        if failed:
+            out += (
+                f"\n  {len(failed)} cell(s) FAILED — values above marked "
+                f"FAILED(site); see `repro` output or runner.failures."
+            )
         return out
+
+    def failed_cells(self) -> list[CellFailure]:
+        """Distinct :class:`~repro.experiments.harness.CellFailure`
+        records embedded in the rows (graceful degradation leaves the
+        failure object where the metric value would be)."""
+        failed: list[CellFailure] = []
+        for row in self.rows:
+            for value in row.values():
+                if isinstance(value, CellFailure) and value not in failed:
+                    failed.append(value)
+        return failed
 
     def to_json(self) -> str:
         """JSON document (id, title, notes, rows) for downstream
-        plotting/analysis tooling."""
+        plotting/analysis tooling.  Failed cells serialize as their
+        ``FAILED(site)`` marker string."""
         import json
+
+        def encode(value: object) -> object:
+            try:
+                return float(value)  # numpy scalars and the like
+            except (TypeError, ValueError):
+                return str(value)  # CellFailure -> "FAILED(site)"
 
         return json.dumps(
             {
@@ -64,7 +88,7 @@ class FigureResult:
                 "rows": self.rows,
             },
             indent=2,
-            default=float,
+            default=encode,
         )
 
     def series(self, key_column: str, value_column: str,

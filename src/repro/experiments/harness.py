@@ -13,15 +13,41 @@ Appendix):
   default, local node to reproduce §4.3's interference);
 - DBG preprocessing happens before the measured run but its cost is
   recorded and charged to kernel time, as the paper does (§5.1.2).
+
+Resilience (see ``docs/faults.md``): when a :class:`~repro.faults.spec
+.FaultPlan` is armed — or a cell legitimately runs out of memory or
+exceeds its access budget — the runner degrades gracefully instead of
+aborting the whole figure batch:
+
+- injected faults are retried up to ``max_retries`` times with a
+  deterministic simulated backoff that is charged to the surviving
+  run's kernel time;
+- exhausted retries, out-of-memory and budget overruns are captured as
+  a structured :class:`CellFailure` (site attribution included), which
+  is cached like any result so the batch completes with partial data;
+- deterministic failures (OOM, budget) are *not* retried — replaying an
+  identical simulation cannot change the outcome.
+
+Each cell gets its own injector seeded from the plan alone, so a cell's
+fault sequence does not depend on batch order, and cells the plan never
+touches stay bit-for-bit identical to a fault-free run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..config import MachineConfig, scaled
-from ..errors import ExperimentError
+from ..errors import (
+    CellBudgetExceededError,
+    ExperimentError,
+    InjectedFaultError,
+    OutOfMemoryError,
+)
+from ..faults.injector import FaultInjector
+from ..faults.sites import FaultSite
+from ..faults.spec import FaultPlan
 from ..graph.csr import CsrGraph
 from ..graph.datasets import EVALUATION_DATASETS, load_dataset
 from ..graph.io import on_disk_bytes
@@ -32,6 +58,117 @@ from ..workloads.layout import MemoryLayout
 from ..workloads.registry import create_workload, workload_needs_weights
 from .policies import Policy
 from .scenarios import Scenario
+
+RETRY_BACKOFF_BASE_CYCLES = 1_000_000
+"""Simulated backoff charged for the first retry; doubles per attempt.
+
+Sized like a long direct-reclaim stall: large enough to be visible in
+kernel time (a retried cell is measurably slower), small enough not to
+drown the phenomenon being measured."""
+
+
+def retry_backoff_cycles(attempt: int) -> int:
+    """Deterministic exponential backoff for the given 1-based failed
+    attempt: base, 2x base, 4x base, ..."""
+    return RETRY_BACKOFF_BASE_CYCLES * (2 ** (attempt - 1))
+
+
+@dataclass
+class CellFailure:
+    """Structured record of one cell that could not produce metrics.
+
+    Stored in the cell cache and placed into figure rows where a
+    :class:`~repro.machine.metrics.RunMetrics` would normally go.  To
+    keep figure code free of per-cell error handling, a failure is
+    *absorbing*: any metric attribute, call or arithmetic involving it
+    yields the failure itself, comparisons rank it below every number,
+    and it renders as ``FAILED(site)`` — so derived columns degrade to
+    an explicit failure marker instead of crashing the batch.
+    """
+
+    workload: str
+    dataset: str
+    policy: str
+    scenario: str
+    error: str
+    message: str
+    attempts: int = 1
+    site: Optional[FaultSite] = None
+    fault_hit: Optional[int] = None
+
+    ok = False
+    """False — counterpart of ``RunMetrics.ok``."""
+
+    @property
+    def label(self) -> str:
+        """The explicit marker rendered into tables: ``FAILED(site)``."""
+        cause = self.site.value if self.site is not None else self.error
+        return f"FAILED({cause})"
+
+    @property
+    def huge_fraction_per_array(self) -> dict:
+        """Empty — a failed cell backed nothing with huge pages."""
+        return {}
+
+    def speedup_over(self, baseline) -> "CellFailure":
+        """A failed cell has no speedup; propagate the failure."""
+        return baseline if isinstance(baseline, CellFailure) else self
+
+    def describe(self) -> str:
+        """Multi-line human-readable account (CLI output)."""
+        lines = [
+            f"{self.label}: {self.workload} on {self.dataset} "
+            f"| policy={self.policy} | scenario={self.scenario}",
+            f"  error    : {self.error}",
+            f"  message  : {self.message}",
+            f"  attempts : {self.attempts}",
+        ]
+        if self.site is not None:
+            lines.append(
+                f"  site     : {self.site.value} (fire #{self.fault_hit})"
+            )
+        return "\n".join(lines)
+
+    # -- absorbing protocol -------------------------------------------
+    # Figure code computes `run.speedup_over(base)`, divides counters,
+    # feeds values to max()/geomean()/round(): all of it must degrade
+    # to the failure marker, never crash.
+
+    def __getattr__(self, name: str) -> "CellFailure":
+        if name.startswith("__"):  # keep copy/pickle/introspection sane
+            raise AttributeError(name)
+        return self
+
+    def __call__(self, *args, **kwargs) -> "CellFailure":
+        return self
+
+    def __iter__(self):
+        return iter(())
+
+    def __contains__(self, item) -> bool:
+        return False
+
+    def __add__(self, other):
+        return self
+
+    __radd__ = __sub__ = __rsub__ = __mul__ = __rmul__ = __add__
+    __truediv__ = __rtruediv__ = __neg__ = __add__
+
+    def __round__(self, ndigits: Optional[int] = None) -> "CellFailure":
+        return self
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    __gt__ = __le__ = __ge__ = __lt__
+
+    def __str__(self) -> str:
+        return self.label
+
+
+CellResult = Union[RunMetrics, CellFailure]
+"""What :meth:`ExperimentRunner.run_cell` returns: metrics, or — with
+graceful degradation — a structured failure."""
 
 
 @dataclass
@@ -45,17 +182,39 @@ class ExperimentRunner:
             convergence on real hardware; the cap does not change which
             policy wins, only absolute cycle counts).
         datasets: dataset names used by the figure functions.
+        fault_plan: optional fault-injection plan; overrides
+            ``config.fault_plan`` when set.  Each cell arms a fresh
+            injector so fault sequences are per-cell deterministic.
+        max_retries: bounded retries per cell for *injected* faults
+            (deterministic OOM/budget failures are never retried).
+        cell_budget: cap on simulated compute accesses per cell (the
+            runaway guard); ``None`` disables it.
+        capture_failures: when True (default), failed cells become
+            cached :class:`CellFailure` results; when False the error
+            propagates after retries (strict mode for tests/debugging).
     """
 
     config: MachineConfig = field(default_factory=scaled)
     pagerank_iterations: int = 3
     datasets: tuple[str, ...] = EVALUATION_DATASETS
-    _cache: dict[tuple, RunMetrics] = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = None
+    max_retries: int = 2
+    cell_budget: Optional[int] = None
+    capture_failures: bool = True
+    failures: list[CellFailure] = field(default_factory=list)
+    _cache: dict[tuple, CellResult] = field(default_factory=dict)
     _graph_cache: dict[tuple[str, str, bool], tuple[CsrGraph, int]] = field(
         default_factory=dict
     )
 
     # ------------------------------------------------------------------
+
+    @property
+    def effective_fault_plan(self) -> Optional[FaultPlan]:
+        """The armed plan: runner-level first, else the config's."""
+        if self.fault_plan is not None:
+            return self.fault_plan
+        return self.config.fault_plan
 
     def run_cell(
         self,
@@ -63,8 +222,17 @@ class ExperimentRunner:
         dataset_name: str,
         policy: Policy,
         scenario: Scenario,
-    ) -> RunMetrics:
-        """Simulate one cell; cached on repeat calls."""
+    ) -> CellResult:
+        """Simulate one cell; cached on repeat calls.
+
+        Returns :class:`RunMetrics`, or a :class:`CellFailure` when the
+        cell fails and ``capture_failures`` is set.
+
+        Raises:
+            ExperimentError: on configuration mistakes (always), or any
+                simulation failure when ``capture_failures`` is False.
+        """
+        plan = self.effective_fault_plan
         key = (
             workload_name,
             dataset_name,
@@ -76,6 +244,9 @@ class ExperimentRunner:
             scenario,
             self.pagerank_iterations,
             self.config.name,
+            plan,
+            self.max_retries,
+            self.cell_budget,
         )
         cached = self._cache.get(key)
         if cached is not None:
@@ -85,11 +256,72 @@ class ExperimentRunner:
             dataset_name, policy.plan.reorder,
             weighted=workload_needs_weights(workload_name),
         )
+        # One injector for all attempts of this cell: counters persist
+        # across retries, so transient (max_fires-capped) glitches are
+        # survived while wear-out triggers keep failing.
+        injector = (
+            plan.make_injector()
+            if plan is not None and plan.enabled
+            else None
+        )
+
+        attempts = 0
+        retry_cycles = 0
+        while True:
+            attempts += 1
+            try:
+                metrics = self._simulate_cell(
+                    workload_name, dataset_name, policy, scenario,
+                    graph, preprocess_accesses, injector,
+                )
+            except InjectedFaultError as error:
+                if attempts <= self.max_retries:
+                    # Deterministic simulated backoff, charged to the
+                    # surviving run's kernel-time ledger.
+                    retry_cycles += retry_backoff_cycles(attempts)
+                    continue
+                result = self._capture(
+                    workload_name, dataset_name, policy, scenario,
+                    error, attempts,
+                )
+            except (CellBudgetExceededError, OutOfMemoryError) as error:
+                # Deterministic failures: retrying replays the identical
+                # simulation, so capture immediately.
+                result = self._capture(
+                    workload_name, dataset_name, policy, scenario,
+                    error, attempts,
+                )
+            else:
+                metrics.attempts = attempts
+                metrics.retry_cycles = retry_cycles
+                metrics.context.update(
+                    scenario=scenario.name,
+                    pressure_gb=scenario.pressure_gb,
+                    frag_level=scenario.frag_level,
+                    policy=policy.name,
+                )
+                result = metrics
+            break
+
+        self._cache[key] = result
+        return result
+
+    def _simulate_cell(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+        graph: CsrGraph,
+        preprocess_accesses: int,
+        injector: Optional[FaultInjector],
+    ) -> RunMetrics:
+        """One attempt at one cell, on a fresh machine."""
         workload = self._make_workload(workload_name, graph)
-        machine = Machine(self.config, policy.make_thp())
+        machine = Machine(self.config, policy.make_thp(), injector=injector)
         layout = MemoryLayout(workload, policy.plan.order)
         self._apply_scenario(machine, scenario, layout, policy.plan)
-        metrics = machine.run(
+        return machine.run(
             workload,
             plan=policy.plan,
             load_bytes=on_disk_bytes(graph),
@@ -97,15 +329,34 @@ class ExperimentRunner:
             preprocess_accesses=preprocess_accesses,
             dataset=dataset_name,
             manager=policy.make_manager(),
+            access_budget=self.cell_budget,
         )
-        metrics.context.update(
-            scenario=scenario.name,
-            pressure_gb=scenario.pressure_gb,
-            frag_level=scenario.frag_level,
+
+    def _capture(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+        error: Exception,
+        attempts: int,
+    ) -> CellFailure:
+        """Fold a cell-level error into a structured failure record."""
+        if not self.capture_failures:
+            raise error
+        failure = CellFailure(
+            workload=workload_name,
+            dataset=dataset_name,
             policy=policy.name,
+            scenario=scenario.name,
+            error=type(error).__name__,
+            message=str(error),
+            attempts=attempts,
+            site=getattr(error, "site", None),
+            fault_hit=getattr(error, "hit", None),
         )
-        self._cache[key] = metrics
-        return metrics
+        self.failures.append(failure)
+        return failure
 
     # ------------------------------------------------------------------
 
@@ -125,7 +376,9 @@ class ExperimentRunner:
             try:
                 ordering = ORDERINGS[reorder]
             except KeyError:
-                raise ExperimentError(f"unknown reordering {reorder!r}")
+                raise ExperimentError(
+                    f"unknown reordering {reorder!r}"
+                ) from None
             perm = ordering(graph)
             accesses = DBG_COST.accesses(
                 graph.num_vertices, graph.num_edges
@@ -191,7 +444,8 @@ class ExperimentRunner:
         baseline_scenario: Optional[Scenario] = None,
     ) -> float:
         """Kernel-time speedup of (policy, scenario) over the baseline
-        cell for the same workload and dataset."""
+        cell for the same workload and dataset (a :class:`CellFailure`
+        if either cell failed)."""
         if baseline_scenario is None:
             baseline_scenario = scenario
         run = self.run_cell(workload_name, dataset_name, policy, scenario)
@@ -201,5 +455,8 @@ class ExperimentRunner:
         return run.speedup_over(base)
 
     def clear_cache(self) -> None:
-        """Drop all cached cells (frees memory between figure batches)."""
+        """Drop all cached cells *and* prepared graphs (frees memory
+        between figure batches); failure records are reset too."""
         self._cache.clear()
+        self._graph_cache.clear()
+        self.failures.clear()

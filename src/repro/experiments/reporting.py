@@ -14,6 +14,8 @@ from typing import Any, Iterable, Optional
 def _format_value(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
+    # Non-floats (including CellFailure) render via str(); a failed cell
+    # prints its explicit "FAILED(site)" marker in place of the metric.
     return str(value)
 
 
@@ -53,7 +55,11 @@ def format_table(
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's cross-configuration aggregate)."""
+    """Geometric mean (the paper's cross-configuration aggregate).
+
+    Failed cells are excluded: a ``CellFailure`` compares False against
+    every number, so the ``v > 0`` filter drops it and the aggregate
+    covers the cells that did produce data."""
     values = [v for v in values if v > 0]
     if not values:
         return 0.0

@@ -1,0 +1,30 @@
+"""Deterministic, seeded fault injection for the simulated machine.
+
+The paper's central claim is that page-size policy behaviour under
+*adverse* memory conditions decides graph-analytics performance; this
+package lets experiments probe exactly that by making compaction,
+promotion, reclaim, swap I/O and allocation fail on demand — with
+deterministic, per-cell-seeded triggers so fault runs are as
+reproducible as clean ones.
+
+Usage::
+
+    from repro.faults import FaultPlan
+    plan = FaultPlan.parse("compaction:1.0,swap-out:after=3")
+    runner = ExperimentRunner(fault_plan=plan, max_retries=2)
+
+See ``docs/faults.md`` for the site inventory and the harness's
+degradation semantics.
+"""
+
+from .injector import FaultInjector
+from .sites import SITES_BY_NAME, FaultSite
+from .spec import FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSite",
+    "SITES_BY_NAME",
+]

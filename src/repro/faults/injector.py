@@ -1,0 +1,122 @@
+"""The stateful fault injector.
+
+One :class:`FaultInjector` is created per experiment cell (or per
+:class:`~repro.machine.machine.Machine` for direct use) from a
+:class:`~repro.faults.spec.FaultPlan`.  Every wired subsystem calls
+:meth:`FaultInjector.check` at its injection site; when a spec's trigger
+matches, the check raises :class:`~repro.errors.InjectedFaultError`
+carrying the site and the fire count.
+
+Determinism:
+
+- each site draws from its **own** RNG, seeded from ``(plan.seed,
+  site)``, so the probabilistic sequence at one site is independent of
+  how often other sites are evaluated;
+- counters persist across retries of the same cell (the harness reuses
+  one injector for all attempts), so an ``after_n`` wear-out keeps
+  failing on retry while a ``max_fires=1`` glitch is survived;
+- the full fire log is recorded, so tests can assert that the same seed
+  and plan produce the identical hit sequence.
+
+The disabled path is free: subsystems hold ``injector=None`` by default
+and guard every site with a single ``is not None`` test, so simulations
+without a fault plan run the exact pre-fault-subsystem hot path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import InjectedFaultError
+from .sites import FaultSite
+from .spec import FaultPlan, FaultSpec
+
+
+class FaultInjector:
+    """Evaluates fault triggers at named sites; raises when one fires."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._specs_by_site: dict[FaultSite, list[int]] = {}
+        for index, spec in enumerate(plan.specs):
+            self._specs_by_site.setdefault(spec.site, []).append(index)
+        self._spec_fires = [0] * len(plan.specs)
+        self._rngs = {
+            site: random.Random(f"{plan.seed}/{site.value}")
+            for site in self._specs_by_site
+        }
+        self._evaluations: dict[FaultSite, int] = {}
+        self._fires: dict[FaultSite, int] = {}
+        self.fire_log: list[tuple[FaultSite, int]] = []
+        """Every fire as ``(site, evaluation_index)``, in order."""
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any site is armed."""
+        return bool(self._specs_by_site)
+
+    def check(self, site: FaultSite) -> None:
+        """Evaluate ``site``'s triggers; raise if one fires.
+
+        Raises:
+            InjectedFaultError: carrying the site, per-site fire count
+                and the evaluation index that fired.
+        """
+        indices = self._specs_by_site.get(site)
+        if not indices:
+            return
+        n = self._evaluations.get(site, 0) + 1
+        self._evaluations[site] = n
+        for index in indices:
+            spec = self.plan.specs[index]
+            if not self._trigger_matches(spec, site, n):
+                continue
+            if (
+                spec.max_fires is not None
+                and self._spec_fires[index] >= spec.max_fires
+            ):
+                continue
+            self._spec_fires[index] += 1
+            fires = self._fires.get(site, 0) + 1
+            self._fires[site] = fires
+            self.fire_log.append((site, n))
+            raise InjectedFaultError(site, fires, evaluation=n)
+
+    def _trigger_matches(
+        self, spec: FaultSpec, site: FaultSite, evaluation: int
+    ) -> bool:
+        if spec.probability is not None:
+            # Draw even when capped out so the sequence at this site is
+            # a pure function of (seed, evaluation index).
+            return self._rngs[site].random() < spec.probability
+        if spec.after_n is not None:
+            return evaluation > spec.after_n
+        assert spec.every_nth is not None
+        return evaluation % spec.every_nth == 0
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, reports)
+    # ------------------------------------------------------------------
+
+    def evaluations(self, site: FaultSite) -> int:
+        """How often ``site`` has been evaluated."""
+        return self._evaluations.get(site, 0)
+
+    def fires(self, site: Optional[FaultSite] = None) -> int:
+        """Fire count for one site, or the total across all sites."""
+        if site is not None:
+            return self._fires.get(site, 0)
+        return sum(self._fires.values())
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-site ``{evaluations, fires}`` for reports."""
+        return {
+            site.value: {
+                "evaluations": self._evaluations.get(site, 0),
+                "fires": self._fires.get(site, 0),
+            }
+            for site in self._specs_by_site
+        }

@@ -1,0 +1,53 @@
+"""Named fault-injection sites.
+
+Each member names one place in the simulated memory-management machinery
+where an adverse condition can be injected (the operation "fails" by
+raising :class:`~repro.errors.InjectedFaultError`).  The sites mirror
+the kernel activities the paper identifies as fragile under pressure:
+huge-region assembly (compaction), khugepaged promotion, direct reclaim,
+and swap I/O.
+
+Site → wiring point:
+
+- ``ALLOC`` — base-frame allocation (:meth:`NodeMemory.alloc_frames`),
+- ``COMPACTION`` — huge-region assembly when no pristine region exists
+  (:meth:`NodeMemory.alloc_huge_region` falling back to compaction or
+  reclaim),
+- ``RECLAIM`` — direct reclaim in the fault-storm path
+  (:meth:`VirtualMemoryManager._install_base`),
+- ``PROMOTION`` — khugepaged collapse of one chunk
+  (:meth:`VirtualMemoryManager.promote_chunk`),
+- ``DEMOTION`` — huge-page split (:meth:`VirtualMemoryManager
+  .demote_chunk`),
+- ``KHUGEPAGED`` — the background daemon's scan pass stalling outright
+  (:meth:`VirtualMemoryManager.khugepaged_pass`),
+- ``SWAP_OUT`` / ``SWAP_IN`` — swap-device I/O
+  (:class:`~repro.mem.swap.SwapDevice`),
+- ``STAGING`` — staging the input file through the page cache
+  (:meth:`PageCache.read_file`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class FaultSite(Enum):
+    """One named injection point in the simulated machine."""
+
+    ALLOC = "alloc"
+    COMPACTION = "compaction"
+    RECLAIM = "reclaim"
+    PROMOTION = "promotion"
+    DEMOTION = "demotion"
+    KHUGEPAGED = "khugepaged"
+    SWAP_OUT = "swap-out"
+    SWAP_IN = "swap-in"
+    STAGING = "staging"
+
+    def __str__(self) -> str:  # used in CellFailure labels / CLI output
+        return self.value
+
+
+SITES_BY_NAME: dict[str, FaultSite] = {site.value: site for site in FaultSite}
+"""Lookup used by the CLI's ``--faults site:trigger`` parser."""

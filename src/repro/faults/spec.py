@@ -1,0 +1,184 @@
+"""Fault plans: which sites fail, when, and how often.
+
+A :class:`FaultSpec` arms one :class:`~repro.faults.sites.FaultSite`
+with exactly one trigger:
+
+- ``probability`` — each evaluation of the site fires independently with
+  the given probability (seeded, deterministic);
+- ``after_n`` — the site works for its first ``after_n`` evaluations and
+  fails on every one after that (wear-out / leak-style degradation);
+- ``every_nth`` — every ``every_nth``-th evaluation fails (periodic
+  interference).
+
+``max_fires`` optionally caps the number of failures a spec produces —
+``max_fires=1`` models a transient glitch that a retry survives.
+
+A :class:`FaultPlan` is an immutable, hashable bundle of specs plus the
+RNG seed; the experiment harness keys its cell cache on it, and
+:meth:`FaultPlan.make_injector` stamps out a fresh, stateful
+:class:`~repro.faults.injector.FaultInjector` per cell so that every
+cell sees an identical, independent fault sequence regardless of batch
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..errors import ConfigError
+from .sites import SITES_BY_NAME, FaultSite
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault site with exactly one trigger.
+
+    Attributes:
+        site: the injection point.
+        probability: per-evaluation failure probability in [0, 1].
+            0.0 arms the site without ever firing (overhead probes).
+        after_n: fail every evaluation after the first ``after_n``.
+        every_nth: fail every ``every_nth``-th evaluation.
+        max_fires: stop firing after this many failures (None = no cap).
+    """
+
+    site: FaultSite
+    probability: Optional[float] = None
+    after_n: Optional[int] = None
+    every_nth: Optional[int] = None
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        triggers = [
+            self.probability is not None,
+            self.after_n is not None,
+            self.every_nth is not None,
+        ]
+        if sum(triggers) != 1:
+            raise ConfigError(
+                f"fault spec for {self.site.value!r} needs exactly one "
+                "trigger (probability, after_n or every_nth), got "
+                f"{sum(triggers)}"
+            )
+        if self.probability is not None and not (
+            0.0 <= self.probability <= 1.0
+        ):
+            raise ConfigError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.after_n is not None and self.after_n < 0:
+            raise ConfigError(f"after_n must be >= 0, got {self.after_n}")
+        if self.every_nth is not None and self.every_nth < 1:
+            raise ConfigError(f"every_nth must be >= 1, got {self.every_nth}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ConfigError(f"max_fires must be >= 1, got {self.max_fires}")
+
+    @property
+    def trigger_label(self) -> str:
+        """Compact trigger description for reports (``p=0.5``, ...)."""
+        if self.probability is not None:
+            label = f"p={self.probability:g}"
+        elif self.after_n is not None:
+            label = f"after={self.after_n}"
+        else:
+            label = f"every={self.every_nth}"
+        if self.max_fires is not None:
+            label += f",max={self.max_fires}"
+        return label
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of armed fault sites plus the injection seed.
+
+    Hashable, so the experiment harness can include it in cell cache
+    keys: two runners with the same plan and seed produce bit-for-bit
+    identical results.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any site is armed."""
+        return bool(self.specs)
+
+    @property
+    def sites(self) -> frozenset[FaultSite]:
+        """The set of armed sites."""
+        return frozenset(spec.site for spec in self.specs)
+
+    def make_injector(self):
+        """A fresh, stateful injector for one experiment cell."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self)
+
+    def describe(self) -> str:
+        """Human-readable one-liner (``compaction:p=1,swap-out:after=3``)."""
+        if not self.specs:
+            return "(no faults)"
+        return ",".join(
+            f"{spec.site.value}:{spec.trigger_label}" for spec in self.specs
+        )
+
+    @staticmethod
+    def parse(
+        text: str | Sequence[str], seed: int = 0
+    ) -> "FaultPlan":
+        """Parse CLI fault specs into a plan.
+
+        Accepts a comma-separated string or a sequence of tokens, each
+        ``site[:trigger][:max=M]`` where *trigger* is a float
+        probability (default 1.0), ``after=N`` or ``every=N``::
+
+            compaction:1.0
+            swap-out:after=3,alloc:0.01
+            promotion:every=4:max=2
+
+        Raises:
+            ConfigError: on unknown sites or malformed triggers.
+        """
+        if isinstance(text, str):
+            tokens: Iterable[str] = text.split(",")
+        else:
+            tokens = [part for item in text for part in item.split(",")]
+        specs: list[FaultSpec] = []
+        for token in tokens:
+            token = token.strip()
+            if not token:
+                continue
+            specs.append(_parse_spec(token))
+        return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+def _parse_spec(token: str) -> FaultSpec:
+    parts = token.split(":")
+    site = SITES_BY_NAME.get(parts[0])
+    if site is None:
+        known = ", ".join(sorted(SITES_BY_NAME))
+        raise ConfigError(
+            f"unknown fault site {parts[0]!r}; known sites: {known}"
+        )
+    kwargs: dict[str, object] = {}
+    trigger_parts = parts[1:]
+    for part in trigger_parts:
+        try:
+            if part.startswith("after="):
+                kwargs["after_n"] = int(part[len("after="):])
+            elif part.startswith("every="):
+                kwargs["every_nth"] = int(part[len("every="):])
+            elif part.startswith("max="):
+                kwargs["max_fires"] = int(part[len("max="):])
+            else:
+                kwargs["probability"] = float(part)
+        except ValueError:
+            raise ConfigError(
+                f"malformed fault trigger {part!r} in {token!r}; expected "
+                "a probability, after=N, every=N or max=M"
+            ) from None
+    if not any(k in kwargs for k in ("probability", "after_n", "every_nth")):
+        kwargs["probability"] = 1.0
+    return FaultSpec(site=site, **kwargs)  # type: ignore[arg-type]

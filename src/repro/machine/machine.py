@@ -20,6 +20,9 @@ from typing import Optional
 
 from ..config import MachineConfig, scaled
 from ..core.plan import PlacementPlan
+from ..errors import CellBudgetExceededError
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultPlan
 from ..mem.frag import Fragmenter
 from ..mem.heuristics import HugePageManager
 from ..mem.memhog import Memhog
@@ -47,12 +50,23 @@ class Machine:
         self,
         config: Optional[MachineConfig] = None,
         thp: Optional[ThpPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config if config is not None else scaled()
         self.thp = thp if thp is not None else ThpPolicy.never()
-        self.physical = PhysicalMemory(self.config)
-        self.page_cache = PageCache(self.physical.nodes)
-        self.swap = SwapDevice()
+        if injector is None:
+            plan = faults if faults is not None else self.config.fault_plan
+            if plan is not None and plan.enabled:
+                injector = plan.make_injector()
+        self.fault_injector = injector
+        if injector is not None:
+            # The THP engine consults the injector through its gates
+            # (promotion / demotion / khugepaged stalls).
+            self.thp.injector = injector
+        self.physical = PhysicalMemory(self.config, injector=injector)
+        self.page_cache = PageCache(self.physical.nodes, injector=injector)
+        self.swap = SwapDevice(injector=injector)
         self.hugetlb_pool = None
         # The application binds to the last node; node 0 is "remote"
         # (where tmpfs-staged input lives in the paper's setup).
@@ -119,6 +133,7 @@ class Machine:
         preprocess_accesses: int = 0,
         dataset: str = "",
         manager: Optional[HugePageManager] = None,
+        access_budget: Optional[int] = None,
     ) -> RunMetrics:
         """Execute one workload end to end and measure it.
 
@@ -142,6 +157,17 @@ class Machine:
 
         The returned metrics charge phases separately; kernel-time
         speedups between runs reproduce the paper's figures.
+
+        ``access_budget`` caps the compute phase's simulated accesses —
+        the harness's runaway guard.  The check runs once per access
+        stream, so a cell stops within one workload iteration of the
+        budget instead of consuming a whole figure batch's time.
+
+        Raises:
+            CellBudgetExceededError: if the compute phase passes
+                ``access_budget`` simulated accesses.
+            InjectedFaultError: if a fault plan is armed and one of its
+                sites fires during the run.
         """
         if plan is None:
             plan = PlacementPlan.none()
@@ -190,6 +216,15 @@ class Machine:
                 swap_ins += ins
                 swap_outs += outs
             hierarchy.simulate(trace, stats)
+            if (
+                access_budget is not None
+                and stats.total_accesses > access_budget
+            ):
+                raise CellBudgetExceededError(
+                    f"cell exceeded its access budget: "
+                    f"{stats.total_accesses:,} simulated accesses > "
+                    f"budget {access_budget:,}"
+                )
             if manager is not None and profiler is not None:
                 profiler.observe(trace, process.vma_by_array)
                 if manager.on_iteration():

@@ -51,6 +51,11 @@ class RunMetrics:
     manager_promotions: int = 0
     manager_demotions: int = 0
 
+    # Harness resilience: attempts taken to produce this result and the
+    # deterministic simulated backoff charged for the failed ones.
+    attempts: int = 1
+    retry_cycles: int = 0
+
     # Free-form context attached by the harness (scenario parameters).
     context: dict[str, Any] = field(default_factory=dict)
 
@@ -59,9 +64,20 @@ class RunMetrics:
     # ------------------------------------------------------------------
 
     @property
+    def ok(self) -> bool:
+        """True — this cell produced metrics (see ``CellFailure.ok``)."""
+        return True
+
+    @property
     def total_cycles(self) -> int:
-        """End-to-end runtime: preprocessing + init + kernel compute."""
-        return self.preprocess_cycles + self.init_cycles + self.compute_cycles
+        """End-to-end runtime: preprocessing + init + kernel compute,
+        plus any retry backoff the harness charged."""
+        return (
+            self.preprocess_cycles
+            + self.init_cycles
+            + self.compute_cycles
+            + self.retry_cycles
+        )
 
     @property
     def kernel_cycles(self) -> int:
@@ -69,8 +85,10 @@ class RunMetrics:
         algorithm execution including any swap stalls, excluding data
         loading/initialization.  Preprocessing (DBG) is charged here, as
         the paper "account[s] for the preprocessing times when measuring
-        application runtimes" (§5.1.2)."""
-        return self.compute_cycles + self.preprocess_cycles
+        application runtimes" (§5.1.2).  Retry backoff cycles (injected
+        faults survived by the harness) are charged here too — a retried
+        cell is slower, exactly as a retried real run would be."""
+        return self.compute_cycles + self.preprocess_cycles + self.retry_cycles
 
     @property
     def dtlb_miss_rate(self) -> float:
@@ -118,4 +136,6 @@ class RunMetrics:
             ),
             "swap_ins": self.swap_ins,
             "swap_outs": self.swap_outs,
+            "attempts": self.attempts,
+            "retry_cycles": self.retry_cycles,
         }

@@ -22,19 +22,28 @@ the THP policy's ``fault_reclaim`` flag).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..errors import ConfigError
+from ..faults.injector import FaultInjector
+from ..faults.sites import FaultSite
 from .physical import FrameState, NodeMemory
 
 
 class PageCache:
     """File-backed page cache over one or more NUMA nodes."""
 
-    def __init__(self, nodes: list[NodeMemory]) -> None:
+    def __init__(
+        self,
+        nodes: list[NodeMemory],
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         if not nodes:
             raise ConfigError("page cache needs at least one node")
         self.nodes = nodes
+        self.injector = injector
         self._owner_ids = {
             node.node_id: node.register_owner(self) for node in nodes
         }
@@ -66,9 +75,15 @@ class PageCache:
         lacks free frames, mirroring cache admission under pressure).
         ``direct_io=True`` bypasses the cache entirely.  Returns the number
         of frames cached.
+
+        Raises:
+            InjectedFaultError: when the ``staging`` site fires (a
+                failed read of the input file).
         """
         if direct_io:
             return 0
+        if self.injector is not None:
+            self.injector.check(FaultSite.STAGING)
         node = self._node(node_id)
         page = node.config.pages.base_page_size
         want = -(-size_bytes // page)

@@ -32,6 +32,8 @@ import numpy as np
 
 from ..config import MachineConfig
 from ..errors import OutOfMemoryError
+from ..faults.injector import FaultInjector
+from ..faults.sites import FaultSite
 from .stats import KernelLedger
 
 
@@ -71,11 +73,16 @@ class NodeMemory:
     """Frame map for a single NUMA node."""
 
     def __init__(
-        self, node_id: int, config: MachineConfig, ledger: KernelLedger
+        self,
+        node_id: int,
+        config: MachineConfig,
+        ledger: KernelLedger,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
         self.ledger = ledger
+        self.injector = injector
         self.frames_per_region = config.pages.frames_per_huge
         self.num_frames = config.frames_per_node
         self.num_regions = config.huge_regions_per_node
@@ -176,6 +183,8 @@ class NodeMemory:
         """
         if count == 0:
             return np.empty(0, dtype=np.int64)
+        if self.injector is not None:
+            self.injector.check(FaultSite.ALLOC)
         free_mask = self.state == FrameState.FREE
         total_free = int(np.count_nonzero(free_mask))
         if total_free < count:
@@ -249,6 +258,10 @@ class NodeMemory:
             return self._claim_region(region, owner_id, state)
         if not (allow_compaction or allow_reclaim):
             return None
+        if self.injector is not None:
+            # Region assembly — the compaction/reclaim effort the paper
+            # measures under pressure — is the canonical injection site.
+            self.injector.check(FaultSite.COMPACTION)
         region = self._assemble_region(allow_compaction, allow_reclaim)
         if region is None:
             return None
@@ -442,11 +455,16 @@ class NodeMemory:
 class PhysicalMemory:
     """All NUMA nodes of the machine plus the shared kernel ledger."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         self.config = config
         self.ledger = KernelLedger(cost=config.cost)
+        self.injector = injector
         self.nodes = [
-            NodeMemory(node_id, config, self.ledger)
+            NodeMemory(node_id, config, self.ledger, injector=injector)
             for node_id in range(config.num_nodes)
         ]
 

@@ -5,24 +5,47 @@ memory is oversubscribed "swapping dominates application runtime",
 degrading both the 4KB baseline and THP by ~24x (§4.3.1).  The device
 tracks page-in/page-out counts; cycle costs are charged through the
 kernel ledger by the VMM.
+
+Swap I/O is a fault-injection site (a failing or saturated swap device):
+when an injector is attached, every page movement evaluates the
+``swap-out`` / ``swap-in`` sites before the counter is bumped, so an
+injected I/O error surfaces before any state changes.
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+from ..faults.injector import FaultInjector
+from ..faults.sites import FaultSite
 
 
 class SwapDevice:
     """Counts pages moved to/from secondary storage."""
 
-    def __init__(self) -> None:
+    def __init__(self, injector: Optional[FaultInjector] = None) -> None:
         self.pages_out = 0
         self.pages_in = 0
+        self.injector = injector
 
     def page_out(self, count: int = 1) -> None:
-        """Record pages written to swap."""
+        """Record pages written to swap.
+
+        Raises:
+            InjectedFaultError: when the ``swap-out`` site fires.
+        """
+        if self.injector is not None:
+            self.injector.check(FaultSite.SWAP_OUT)
         self.pages_out += count
 
     def page_in(self, count: int = 1) -> None:
-        """Record pages read back from swap."""
+        """Record pages read back from swap.
+
+        Raises:
+            InjectedFaultError: when the ``swap-in`` site fires.
+        """
+        if self.injector is not None:
+            self.injector.check(FaultSite.SWAP_IN)
         self.pages_in += count
 
     @property

@@ -15,13 +15,23 @@ Models the Linux THP machinery the paper characterizes (§2.3):
   so unused tail pages can be reclaimed.
 
 The policy itself is stateless apart from its configuration; all memory
-state lives in the VMM and the physical frame map.
+state lives in the VMM and the physical frame map.  The one piece of
+machinery the policy *does* carry is the fault-injection hook: the
+machine attaches its :class:`~repro.faults.injector.FaultInjector`, and
+the promotion / demotion / khugepaged paths consult it through the
+``check_*`` gates below before doing any work — so injected THP-side
+failures (a stalling daemon, a collapse that aborts, a split that
+cannot complete) fire at well-defined points of the engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+from typing import Optional
+
+from ..faults.injector import FaultInjector
+from ..faults.sites import FaultSite
 
 
 class ThpMode(Enum):
@@ -53,6 +63,9 @@ class ThpPolicy:
         khugepaged_compact: khugepaged may compact/reclaim to find regions.
         max_fault_retries: huge-region allocation attempts per chunk at
             fault time before falling back to base pages.
+        injector: fault injector attached by the machine; ``None`` (the
+            default) keeps every THP path fault-free.  Excluded from
+            equality so configured policies still compare by settings.
     """
 
     mode: ThpMode = ThpMode.NEVER
@@ -62,6 +75,9 @@ class ThpPolicy:
     khugepaged_enabled: bool = True
     khugepaged_compact: bool = True
     max_fault_retries: int = 1
+    injector: Optional[FaultInjector] = field(
+        default=None, repr=False, compare=False
+    )
 
     @staticmethod
     def never() -> "ThpPolicy":
@@ -85,3 +101,34 @@ class ThpPolicy:
         if self.mode is ThpMode.MADVISE:
             return advised
         return False
+
+    # ------------------------------------------------------------------
+    # Fault-injection gates (no-ops without an attached injector)
+    # ------------------------------------------------------------------
+
+    def check_promotion(self) -> None:
+        """Gate one khugepaged collapse attempt.
+
+        Raises:
+            InjectedFaultError: when the ``promotion`` site fires.
+        """
+        if self.injector is not None:
+            self.injector.check(FaultSite.PROMOTION)
+
+    def check_demotion(self) -> None:
+        """Gate one huge-page split.
+
+        Raises:
+            InjectedFaultError: when the ``demotion`` site fires.
+        """
+        if self.injector is not None:
+            self.injector.check(FaultSite.DEMOTION)
+
+    def check_khugepaged(self) -> None:
+        """Gate one background daemon scan pass (a stalled khugepaged).
+
+        Raises:
+            InjectedFaultError: when the ``khugepaged`` site fires.
+        """
+        if self.injector is not None:
+            self.injector.check(FaultSite.KHUGEPAGED)

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..config import MachineConfig
 from ..errors import AddressError, AllocationError, OutOfMemoryError
+from ..faults.sites import FaultSite
 from .physical import NodeMemory
 from .thp import ThpPolicy
 
@@ -311,6 +312,8 @@ class VirtualMemoryManager:
                 # Reclaim-before-swap, as the kernel's direct reclaim
                 # does: single-use page-cache contents are dropped before
                 # any anonymous page is written to disk.
+                if self.node.injector is not None:
+                    self.node.injector.check(FaultSite.RECLAIM)
                 if self.node.reclaim_frames(min(64, count - pos)):
                     continue
                 if self.swap_device is None:
@@ -406,6 +409,7 @@ class VirtualMemoryManager:
         policy = self.policy
         if not policy.khugepaged_enabled:
             return 0
+        policy.check_khugepaged()
         promoted = 0
         for vma in list(self.vmas):
             for chunk in range(vma.nchunks):
@@ -426,6 +430,7 @@ class VirtualMemoryManager:
 
     def promote_chunk(self, vma: Vma, chunk: int) -> bool:
         """Promote one base-mapped chunk to a huge page (copy collapse)."""
+        self.policy.check_promotion()
         region = self.node.alloc_huge_region(
             self.owner_id,
             allow_compaction=self.policy.khugepaged_compact,
@@ -499,6 +504,7 @@ class VirtualMemoryManager:
                 f"{vma.name} chunk {chunk} is hugetlbfs-backed; "
                 "explicit reservations cannot be split"
             )
+        self.policy.check_demotion()
         pages = vma.chunk_pages(chunk)
         vma.huge_region[chunk] = -1
         vma.is_huge[pages] = False

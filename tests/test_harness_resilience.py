@@ -1,0 +1,223 @@
+"""Tests for the resilient experiment harness: retries, budgets,
+graceful degradation into :class:`CellFailure`, and the cache fixes."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import scaled, tiny
+from repro.errors import (
+    CellBudgetExceededError,
+    ExperimentError,
+    InjectedFaultError,
+    OutOfMemoryError,
+)
+from repro.faults import FaultPlan
+from repro.experiments.figures import fig07_pressure_alloc_order
+from repro.experiments.harness import (
+    RETRY_BACKOFF_BASE_CYCLES,
+    CellFailure,
+    ExperimentRunner,
+    retry_backoff_cycles,
+)
+from repro.experiments.policies import POLICIES
+from repro.experiments.scenarios import constrained, fresh, oversubscribed
+
+
+@pytest.fixture
+def runner():
+    """A TINY-profile runner over the fast test dataset."""
+    return ExperimentRunner(
+        config=tiny(), datasets=("test-small",), pagerank_iterations=2
+    )
+
+
+def run_bfs(runner, policy="base4k", scenario=None):
+    return runner.run_cell(
+        "bfs", "test-small", POLICIES[policy], scenario or fresh()
+    )
+
+
+class TestCacheFixes:
+    def test_clear_cache_drops_both_caches(self, runner):
+        """Regression: clear_cache() used to leave _graph_cache behind."""
+        run_bfs(runner)
+        assert runner._cache and runner._graph_cache
+        runner.clear_cache()
+        assert runner._cache == {}
+        assert runner._graph_cache == {}
+
+    def test_unknown_reordering_suppresses_context(self, runner):
+        with pytest.raises(ExperimentError) as exc:
+            runner._prepared_graph("test-small", "bogus", weighted=False)
+        assert "unknown reordering" in str(exc.value)
+        # `raise ... from None`: the internal KeyError is not chained.
+        assert exc.value.__suppress_context__
+        assert exc.value.__cause__ is None
+
+
+class TestRetries:
+    def test_backoff_is_exponential(self):
+        assert retry_backoff_cycles(1) == RETRY_BACKOFF_BASE_CYCLES
+        assert retry_backoff_cycles(3) == 4 * RETRY_BACKOFF_BASE_CYCLES
+
+    def test_transient_glitch_survived_by_retry(self, runner):
+        # staging fires once (max=1): attempt 1 dies, attempt 2 passes.
+        runner.fault_plan = FaultPlan.parse("staging:1.0:max=1")
+        metrics = run_bfs(runner)
+        assert metrics.ok
+        assert metrics.attempts == 2
+        assert metrics.retry_cycles == RETRY_BACKOFF_BASE_CYCLES
+        assert metrics.kernel_cycles > 0
+
+    def test_retry_backoff_charged_to_kernel_time(self, runner):
+        baseline = run_bfs(runner)
+        retried_runner = ExperimentRunner(
+            config=tiny(),
+            fault_plan=FaultPlan.parse("staging:1.0:max=1"),
+        )
+        retried = run_bfs(retried_runner)
+        assert (
+            retried.kernel_cycles
+            == baseline.kernel_cycles + RETRY_BACKOFF_BASE_CYCLES
+        )
+
+    def test_retries_exhausted_becomes_cell_failure(self, runner):
+        runner.fault_plan = FaultPlan.parse("staging:1.0")
+        result = run_bfs(runner)
+        assert isinstance(result, CellFailure)
+        assert not result.ok
+        assert result.attempts == runner.max_retries + 1
+        assert result.site is not None and result.site.value == "staging"
+        assert result.error == "InjectedFaultError"
+        assert result.label == "FAILED(staging)"
+        assert runner.failures == [result]
+
+    def test_strict_mode_propagates(self, runner):
+        runner.fault_plan = FaultPlan.parse("staging:1.0")
+        runner.capture_failures = False
+        with pytest.raises(InjectedFaultError):
+            run_bfs(runner)
+
+    def test_failure_is_cached(self, runner):
+        runner.fault_plan = FaultPlan.parse("staging:1.0")
+        first = run_bfs(runner)
+        second = run_bfs(runner)
+        assert first is second
+        assert len(runner.failures) == 1
+
+    def test_fault_plan_in_cache_key(self, runner):
+        clean = run_bfs(runner)
+        runner.fault_plan = FaultPlan.parse("staging:1.0")
+        faulted = run_bfs(runner)
+        assert clean.ok and not faulted.ok
+
+
+class TestDeterministicFailures:
+    def test_budget_overrun_not_retried(self, runner):
+        runner.cell_budget = 10
+        result = run_bfs(runner)
+        assert isinstance(result, CellFailure)
+        assert result.error == "CellBudgetExceededError"
+        assert result.attempts == 1  # deterministic: no retry
+        assert result.label == "FAILED(CellBudgetExceededError)"
+
+    def test_budget_in_cache_key(self, runner):
+        assert run_bfs(runner).ok
+        runner.cell_budget = 10
+        assert not run_bfs(runner).ok
+
+    def test_oom_captured_from_pressured_cell(self):
+        runner = ExperimentRunner(
+            config=replace(tiny(), swap_enabled=False),
+            datasets=("test-small",),
+        )
+        result = run_bfs(runner, scenario=oversubscribed(0.5))
+        assert isinstance(result, CellFailure)
+        assert result.error == "OutOfMemoryError"
+        assert result.attempts == 1
+
+    def test_oom_propagates_in_strict_mode(self):
+        runner = ExperimentRunner(
+            config=replace(tiny(), swap_enabled=False),
+            datasets=("test-small",),
+            capture_failures=False,
+        )
+        with pytest.raises(OutOfMemoryError):
+            run_bfs(runner, scenario=oversubscribed(0.5))
+
+    def test_budget_error_from_machine_level(self, small_graph):
+        from repro.machine.machine import Machine
+        from repro.workloads.registry import create_workload
+
+        machine = Machine(tiny())
+        with pytest.raises(CellBudgetExceededError):
+            machine.run(
+                create_workload("bfs", small_graph), access_budget=10
+            )
+
+
+class TestCellFailureAbsorption:
+    def make_failure(self):
+        return CellFailure(
+            workload="bfs", dataset="test-small", policy="thp",
+            scenario="fresh", error="InjectedFaultError", message="boom",
+        )
+
+    def test_metric_access_absorbs(self):
+        failure = self.make_failure()
+        assert failure.kernel_cycles is failure
+        assert failure.speedup_over(failure) is failure
+        assert failure.summary() is failure
+        assert failure.huge_fraction_per_array == {}
+
+    def test_arithmetic_and_comparisons(self):
+        failure = self.make_failure()
+        assert (failure / 3) is failure
+        assert (2.0 * failure) is failure
+        assert round(failure, 3) is failure
+        assert not failure < 1 and not failure > 1
+        assert max(1, failure) == 1
+        assert list(failure) == []
+
+    def test_renders_as_failed_marker(self):
+        assert str(self.make_failure()) == "FAILED(InjectedFaultError)"
+
+
+class TestGracefulFigureBatch:
+    """The ISSUE's acceptance scenario: fig07 with compaction:1.0."""
+
+    def test_fig07_completes_with_partial_data(self):
+        plan = FaultPlan.parse("compaction:1.0")
+        faulted = ExperimentRunner(fault_plan=plan)
+        result = fig07_pressure_alloc_order(
+            faulted, workloads=("bfs",), datasets=("test-small",)
+        )
+        # The batch completed and rendered despite failing cells.
+        (row,) = result.rows
+        rendered = result.render()
+        assert "FAILED(compaction)" in rendered
+        failed = result.failed_cells()
+        assert failed and all(
+            f.site.value == "compaction" for f in failed
+        )
+        assert all(f.scenario.startswith("constrained") for f in failed)
+        # JSON export degrades to marker strings instead of crashing.
+        assert '"FAILED(compaction)"' in result.to_json()
+
+        # Unaffected cells are bit-for-bit identical to a no-fault run.
+        clean = ExperimentRunner()
+        clean_result = fig07_pressure_alloc_order(
+            clean, workloads=("bfs",), datasets=("test-small",)
+        )
+        (clean_row,) = clean_result.rows
+        for column in ("base4k_pressured", "thp_ideal"):
+            assert row[column] == clean_row[column]
+        # And the underlying unaffected cell metrics match exactly.
+        base = run_bfs(clean, scenario=constrained(0.5))
+        base_faulted = run_bfs(faulted, scenario=constrained(0.5))
+        assert base.summary() == base_faulted.summary()
+        assert (
+            base.per_array_translation()
+            == base_faulted.per_array_translation()
+        )

@@ -1,0 +1,35 @@
+"""Static analysis and runtime sanitization for the simulator.
+
+Two halves:
+
+- :mod:`repro.analysis.lint` — AST-based repo-specific lint rules
+  (REP001–REP006) runnable as ``python -m repro.analysis``;
+- :mod:`repro.analysis.sanitizer` — "MemSan", a runtime invariant
+  checker for the simulated memory subsystem, enabled with
+  ``REPRO_SANITIZE=1`` or ``--sanitize``.
+"""
+
+from __future__ import annotations
+
+from .findings import ALL_RULES, RULE_SUMMARIES, Finding
+from .lint import lint_paths, lint_text
+from .sanitizer import (
+    MemSanitizer,
+    NullSanitizer,
+    make_sanitizer,
+    sanitizer_enabled,
+    set_sanitize,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "MemSanitizer",
+    "NullSanitizer",
+    "RULE_SUMMARIES",
+    "lint_paths",
+    "lint_text",
+    "make_sanitizer",
+    "sanitizer_enabled",
+    "set_sanitize",
+]

@@ -1,0 +1,91 @@
+"""``python -m repro.analysis`` — run the repo-specific lint.
+
+Exit status: 0 clean, 1 findings, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .findings import ALL_RULES, RULE_SUMMARIES
+from .lint import default_target, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repo-specific static analysis: determinism (REP001/REP002), "
+            "unit safety (REP003), fault-site completeness (REP004), "
+            "ledger hygiene (REP005) and export hygiene (REP006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (e.g. REP001,REP004)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule}: {RULE_SUMMARIES[rule]}")
+        return 0
+
+    paths = args.paths or [default_target()]
+    rules = None
+    if args.rules:
+        rules = [code.strip() for code in args.rules.split(",") if code.strip()]
+    try:
+        findings, errors = lint_paths(paths, rules=rules)
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "errors": errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Finding records and the rule registry for ``repro.analysis.lint``.
+
+A :class:`Finding` is one rule violation anchored to a file and line.
+Findings are ordered (path, line, column, rule) so reports are stable
+regardless of the order rules run in — the analyzer's own output must be
+as deterministic as the simulator it audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (``--format=json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+RULE_SUMMARIES: dict[str, str] = {
+    "REP001": (
+        "no nondeterminism sources (wall clocks, unseeded RNGs, "
+        "os.urandom, id()-keyed ordering) inside the simulator"
+    ),
+    "REP002": (
+        "no iteration over set/frozenset values where hash order could "
+        "leak into metrics or fault sequencing; iterate sorted(...) "
+        "instead"
+    ),
+    "REP003": (
+        "no +/-/comparison mixing identifiers of different memory units "
+        "(_bytes/_frames/_pages/_regions) without a repro.units helper"
+    ),
+    "REP004": (
+        "fault-site completeness: every FaultSite member is wired to an "
+        "injector.check() call site and every reference names a real "
+        "member"
+    ),
+    "REP005": (
+        "ledger hygiene: KernelLedger counters are only mutated inside "
+        "repro/mem/stats.py (everything else goes through the charge "
+        "helpers)"
+    ),
+    "REP006": (
+        "__all__ must list exactly the public names a package's "
+        "__init__ binds"
+    ),
+}
+"""One-line summary per rule, used by ``--list-rules`` and the docs."""
+
+ALL_RULES: tuple[str, ...] = tuple(sorted(RULE_SUMMARIES))
+"""Every known rule code, sorted."""

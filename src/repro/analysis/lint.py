@@ -1,0 +1,132 @@
+"""Lint driver: file discovery, rule dispatch, suppression filtering.
+
+Entry points:
+
+- :func:`lint_paths` — lint files/directories on disk (the CLI path),
+- :func:`lint_text` — lint one in-memory source string (used by the
+  analyzer's own tests to run rules over inline fixtures).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .findings import ALL_RULES, Finding
+from .noqa import Suppressions
+from .project import PROJECT_RULES
+from .rules import PER_FILE_RULES, ModuleContext
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+
+
+def default_target() -> str:
+    """The ``src/repro`` package directory this module is installed in."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` in sorted, stable order."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _relpath(path: str, root: Optional[str]) -> str:
+    if root is not None:
+        try:
+            rel = os.path.relpath(path, root)
+            if not rel.startswith(".."):
+                return rel.replace(os.sep, "/")
+        except ValueError:  # different drive (Windows)
+            pass
+    return path.replace(os.sep, "/")
+
+
+def _select_rules(rules: Optional[Iterable[str]]) -> frozenset[str]:
+    if rules is None:
+        return frozenset(ALL_RULES)
+    selected = frozenset(rules)
+    unknown = selected - frozenset(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    return selected
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], supp: Suppressions
+) -> list[Finding]:
+    return [f for f in findings if not supp.is_suppressed(f.line, f.rule)]
+
+
+def lint_modules(
+    modules: list[ModuleContext],
+    suppressions: dict[str, Suppressions],
+    rules: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Run the selected rules over pre-parsed modules."""
+    selected = _select_rules(rules)
+    findings: list[Finding] = []
+    for ctx in modules:
+        supp = suppressions[ctx.relpath]
+        for rule, func in PER_FILE_RULES.items():
+            if rule in selected:
+                findings.extend(_apply_suppressions(func(ctx), supp))
+    for rule, func in PROJECT_RULES.items():
+        if rule in selected:
+            raw = func(modules)
+            findings.extend(
+                f
+                for f in raw
+                if not suppressions.get(f.path, Suppressions()).is_suppressed(
+                    f.line, f.rule
+                )
+            )
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+    root: Optional[str] = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint files/directories.
+
+    Returns ``(findings, errors)`` where errors are human-readable
+    parse/read failures (reported but non-fatal so one broken file
+    doesn't hide findings elsewhere).
+    """
+    if root is None:
+        root = os.getcwd()
+    modules: list[ModuleContext] = []
+    suppressions: dict[str, Suppressions] = {}
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        rel = _relpath(path, root)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            ctx = ModuleContext.parse(path, source, rel)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{rel}: {exc}")
+            continue
+        modules.append(ctx)
+        suppressions[rel] = Suppressions.from_source(source)
+    return lint_modules(modules, suppressions, rules), errors
+
+
+def lint_text(
+    source: str,
+    relpath: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint one in-memory source string (test fixtures)."""
+    ctx = ModuleContext.parse(relpath, source, relpath)
+    supp = Suppressions.from_source(source)
+    return lint_modules([ctx], {relpath: supp}, rules)

@@ -1,0 +1,78 @@
+"""Suppression comments for ``repro.analysis.lint``.
+
+Two forms are recognized, mirroring flake8's ``noqa`` but namespaced so
+they never collide with other tools:
+
+- line-level: ``# repro: noqa REP003`` (or ``REP001,REP003``) at the end
+  of the offending line suppresses those rules on that line only; a bare
+  ``# repro: noqa`` suppresses every rule on the line.
+- file-level: ``# repro: noqa-file REP002`` anywhere in the first 10
+  lines suppresses the listed rules for the whole file (used for
+  documented, intentional seams).
+
+Suppressions should always carry a justification in the surrounding
+comment — the lint cannot enforce that, but review should.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(
+    r"#\s*repro:\s*noqa(?!-file)[:\s]*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)?"
+)
+_FILE_RE = re.compile(
+    r"#\s*repro:\s*noqa-file[:\s]*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)?"
+)
+_FILE_PRAGMA_WINDOW = 10
+"""File-level pragmas must appear within the first this-many lines."""
+
+
+def _parse_codes(match: re.Match) -> frozenset[str]:
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()  # bare noqa: every rule
+    return frozenset(code.strip() for code in codes.split(","))
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression pragmas of one source file.
+
+    An empty code set means "all rules" (a bare ``noqa``).
+    """
+
+    line_codes: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_codes: frozenset[str] = frozenset()
+    file_all: bool = False
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Scan a file's text for suppression pragmas."""
+        supp = cls()
+        file_codes: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "repro" not in text or "noqa" not in text:
+                continue
+            file_match = _FILE_RE.search(text)
+            if file_match is not None and lineno <= _FILE_PRAGMA_WINDOW:
+                codes = _parse_codes(file_match)
+                if not codes:
+                    supp.file_all = True
+                file_codes.update(codes)
+                continue
+            line_match = _LINE_RE.search(text)
+            if line_match is not None:
+                supp.line_codes[lineno] = _parse_codes(line_match)
+        supp.file_codes = frozenset(file_codes)
+        return supp
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is suppressed at ``line``."""
+        if self.file_all or rule in self.file_codes:
+            return True
+        codes = self.line_codes.get(line)
+        if codes is None:
+            return False
+        return not codes or rule in codes

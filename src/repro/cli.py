@@ -76,12 +76,21 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
         help="cap on simulated accesses per cell (runaway guard; "
         "default: unlimited)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable MemSan, the simulated-memory invariant checker "
+        "(equivalent to REPRO_SANITIZE=1; see docs/static-analysis.md)",
+    )
 
 
 def _make_runner(args: argparse.Namespace):
+    from .analysis.sanitizer import set_sanitize
     from .experiments.harness import ExperimentRunner
     from .faults.spec import FaultPlan
 
+    if getattr(args, "sanitize", False):
+        set_sanitize(True)
     plan = None
     if getattr(args, "faults", None):
         plan = FaultPlan.parse(args.faults, seed=args.fault_seed)

@@ -28,7 +28,6 @@ Three named profiles are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-
 from typing import Optional
 
 from .errors import ConfigError

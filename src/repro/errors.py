@@ -74,6 +74,19 @@ class InjectedFaultError(ReproError):
         super().__init__(f"injected fault at site {label!r} ({detail})")
 
 
+class MemSanError(ReproError):
+    """The runtime memory sanitizer (MemSan) detected a broken invariant.
+
+    Raised by :class:`repro.analysis.sanitizer.MemSanitizer` hooks when a
+    simulated-memory operation violates frame-state discipline
+    (double-alloc/free, illegal transitions, huge-region preconditions)
+    or when a sweep finds the frame map, VMM page tables and page cache
+    out of sync.  This always indicates a simulator bug, never a modeled
+    adverse condition — it is deliberately *not* absorbed by the
+    experiment harness's failure handling.
+    """
+
+
 class CellBudgetExceededError(ExperimentError):
     """A cell exceeded its simulated-access budget.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..analysis.sanitizer import make_sanitizer
 from ..config import MachineConfig, scaled
 from ..core.plan import PlacementPlan
 from ..errors import CellBudgetExceededError
@@ -52,6 +53,7 @@ class Machine:
         thp: Optional[ThpPolicy] = None,
         faults: Optional[FaultPlan] = None,
         injector: Optional[FaultInjector] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.config = config if config is not None else scaled()
         self.thp = thp if thp is not None else ThpPolicy.never()
@@ -64,7 +66,14 @@ class Machine:
             # The THP engine consults the injector through its gates
             # (promotion / demotion / khugepaged stalls).
             self.thp.injector = injector
-        self.physical = PhysicalMemory(self.config, injector=injector)
+        # MemSan: sanitize=None defers to REPRO_SANITIZE / set_sanitize();
+        # an explicit False wins over the environment (the overhead
+        # benchmark's baseline needs a guaranteed-off machine).
+        self.sanitizer = make_sanitizer(sanitize)
+        self.thp.sanitizer = self.sanitizer
+        self.physical = PhysicalMemory(
+            self.config, injector=injector, sanitizer=self.sanitizer
+        )
         self.page_cache = PageCache(self.physical.nodes, injector=injector)
         self.swap = SwapDevice(injector=injector)
         self.hugetlb_pool = None
@@ -191,6 +200,12 @@ class Machine:
         vmm.khugepaged_pass()
         if drop_cache_after_load:
             self.page_cache.evict_file(INPUT_FILE)
+        if self.sanitizer is not None:
+            # End-of-initialization sweep: the fault storm, khugepaged
+            # pass and page-cache staging must leave every map coherent.
+            self.sanitizer.verify_vmm(vmm)
+            self.sanitizer.verify_node(self.app_node)
+            self.sanitizer.verify_page_cache(self.page_cache)
         init_kernel = ledger.snapshot()
         init_counts = dict(ledger.counts)
         init_cycle_counts = dict(ledger.cycles)
@@ -281,6 +296,11 @@ class Machine:
         # Restore machine state so further runs see the same scenario.
         process.release()
         self.page_cache.evict_file(INPUT_FILE)
+        if self.sanitizer is not None:
+            # Teardown sweep: the released process must leave no frame
+            # behind (leak detection) and the node map must be coherent.
+            self.sanitizer.verify_teardown(vmm)
+            self.sanitizer.verify_node(self.app_node)
         return metrics
 
     # ------------------------------------------------------------------

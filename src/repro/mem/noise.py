@@ -96,7 +96,10 @@ class BackgroundNoise:
 
     def release(self) -> None:
         """Free all noise pages."""
-        all_frames = list(self._movable) + self._nonmovable
+        # Sorted: compaction may have migrated movable noise pages, so the
+        # set's iteration order is history-dependent; the free order (and
+        # any fault-site evaluation it drives) must not be.
+        all_frames = sorted(self._movable) + self._nonmovable
         if all_frames:
             self.node.free_frames(np.array(all_frames, dtype=np.int64))
         self._movable.clear()

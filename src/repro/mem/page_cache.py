@@ -91,16 +91,16 @@ class PageCache:
         count = min(want, available)
         if count == 0:
             return 0
-        frames = node.alloc_frames(
+        allocated = node.alloc_frames(
             count,
             self._owner_ids[node_id],
             state=FrameState.MOVABLE,
             reclaimable=True,
         )
         _, existing = self._files.get(name, (node_id, set()))
-        existing.update(int(f) for f in frames)
+        existing.update(int(f) for f in allocated)
         self._files[name] = (node_id, existing)
-        for frame in frames:
+        for frame in allocated:
             self._frame_file[(node_id, int(frame))] = name
         return count
 
@@ -111,11 +111,13 @@ class PageCache:
             return 0
         node_id, frames = entry
         node = self._node(node_id)
-        arr = np.fromiter(frames, dtype=np.int64, count=len(frames))
-        node.free_frames(arr)
-        for frame in frames:
+        # Sorted so the free order (and any sanitizer/fault evaluation
+        # sequence it drives) is independent of set-insertion history.
+        ordered = sorted(frames)
+        node.free_frames(np.array(ordered, dtype=np.int64))
+        for frame in ordered:
             self._frame_file.pop((node_id, frame), None)
-        return len(frames)
+        return len(ordered)
 
     def drop_caches(self) -> int:
         """The global knob: drop every cached page on every node."""

@@ -26,7 +26,7 @@ moderate memory pressure.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 import numpy as np
 
@@ -35,6 +35,12 @@ from ..errors import OutOfMemoryError
 from ..faults.injector import FaultInjector
 from ..faults.sites import FaultSite
 from .stats import KernelLedger
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from ..analysis.sanitizer import MemSanitizer
+
+_AMBIENT = object()
+"""Sentinel: resolve the sanitizer from REPRO_SANITIZE / set_sanitize()."""
 
 
 class FrameState(IntEnum):
@@ -78,11 +84,13 @@ class NodeMemory:
         config: MachineConfig,
         ledger: KernelLedger,
         injector: Optional[FaultInjector] = None,
+        sanitizer: Optional["MemSanitizer"] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
         self.ledger = ledger
         self.injector = injector
+        self.sanitizer = sanitizer
         self.frames_per_region = config.pages.frames_per_huge
         self.num_frames = config.frames_per_node
         self.num_regions = config.huge_regions_per_node
@@ -196,6 +204,8 @@ class NodeMemory:
             chosen = self._pick_broken_first(free_mask, count)
         else:
             chosen = np.flatnonzero(free_mask)[:count]
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc_frames(self, chosen, state)
         self.state[chosen] = int(state)
         self.owner_id[chosen] = owner_id
         self.reclaimable[chosen] = reclaimable
@@ -270,6 +280,8 @@ class NodeMemory:
     def _claim_region(
         self, region: int, owner_id: int, state: FrameState
     ) -> int:
+        if self.sanitizer is not None:
+            self.sanitizer.on_claim_region(self, region, state)
         frames = self.region_frames(region)
         self.state[frames] = int(state)
         self.owner_id[frames] = owner_id
@@ -344,6 +356,8 @@ class NodeMemory:
                 migrated.append(frame)
         if migrated:
             targets = self._migration_targets(len(migrated), region)
+            if self.sanitizer is not None:
+                self.sanitizer.on_migrate_frames(self, migrated, targets)
             for old, new in zip(migrated, targets):
                 new = int(new)
                 self.state[new] = self.state[old]
@@ -401,6 +415,8 @@ class NodeMemory:
     # ------------------------------------------------------------------
 
     def _release(self, frame: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_release_frame(self, frame)
         self.state[frame] = int(FrameState.FREE)
         self.owner_id[frame] = -1
         self.reclaimable[frame] = False
@@ -424,12 +440,16 @@ class NodeMemory:
 
     def free_frames(self, frames: np.ndarray) -> None:
         """Return the given frames to the free pool."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_free_frames(self, frames)
         self.state[frames] = int(FrameState.FREE)
         self.owner_id[frames] = -1
         self.reclaimable[frames] = False
 
     def free_huge_region(self, region: int) -> None:
         """Return a whole huge region to the free pool."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_free_huge_region(self, region)
         frames = self.region_frames(region)
         self.state[frames] = int(FrameState.FREE)
         self.owner_id[frames] = -1
@@ -438,6 +458,8 @@ class NodeMemory:
     def demote_region(self, region: int) -> None:
         """A huge page in ``region`` was split: its frames become
         individually movable (and freeable) base pages."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_demote_region(self, region)
         frames = self.region_frames(region)
         idx = (
             np.flatnonzero(self.state[frames] == FrameState.HUGE)
@@ -448,6 +470,8 @@ class NodeMemory:
     def pin_frames(self, frames: np.ndarray) -> None:
         """Mark frames as pinned (``mlock``): not migratable, not
         reclaimable."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_pin_frames(self, frames)
         self.state[frames] = int(FrameState.PINNED)
         self.reclaimable[frames] = False
 
@@ -459,12 +483,26 @@ class PhysicalMemory:
         self,
         config: MachineConfig,
         injector: Optional[FaultInjector] = None,
+        sanitizer=_AMBIENT,
     ) -> None:
         self.config = config
         self.ledger = KernelLedger(cost=config.cost)
         self.injector = injector
+        if sanitizer is _AMBIENT:
+            # Deferred import: repro.analysis.sanitizer imports FrameState
+            # from this module, so the dependency must stay call-time.
+            from ..analysis.sanitizer import make_sanitizer
+
+            sanitizer = make_sanitizer()
+        self.sanitizer = sanitizer
         self.nodes = [
-            NodeMemory(node_id, config, self.ledger, injector=injector)
+            NodeMemory(
+                node_id,
+                config,
+                self.ledger,
+                injector=injector,
+                sanitizer=sanitizer,
+            )
             for node_id in range(config.num_nodes)
         ]
 

@@ -28,10 +28,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..faults.injector import FaultInjector
 from ..faults.sites import FaultSite
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids cycles)
+    from ..analysis.sanitizer import MemSanitizer
+    from .vmm import Vma
 
 
 class ThpMode(Enum):
@@ -66,6 +70,9 @@ class ThpPolicy:
         injector: fault injector attached by the machine; ``None`` (the
             default) keeps every THP path fault-free.  Excluded from
             equality so configured policies still compare by settings.
+        sanitizer: MemSan instance attached by the machine; ``None`` (the
+            default) keeps every THP gate check-free.  Excluded from
+            equality for the same reason as ``injector``.
     """
 
     mode: ThpMode = ThpMode.NEVER
@@ -76,6 +83,9 @@ class ThpPolicy:
     khugepaged_compact: bool = True
     max_fault_retries: int = 1
     injector: Optional[FaultInjector] = field(
+        default=None, repr=False, compare=False
+    )
+    sanitizer: Optional["MemSanitizer"] = field(
         default=None, repr=False, compare=False
     )
 
@@ -103,24 +113,36 @@ class ThpPolicy:
         return False
 
     # ------------------------------------------------------------------
-    # Fault-injection gates (no-ops without an attached injector)
+    # Fault-injection / sanitizer gates (no-ops without attachments)
     # ------------------------------------------------------------------
 
-    def check_promotion(self) -> None:
+    def check_promotion(
+        self, vma: Optional["Vma"] = None, chunk: Optional[int] = None
+    ) -> None:
         """Gate one khugepaged collapse attempt.
 
         Raises:
             InjectedFaultError: when the ``promotion`` site fires.
+            MemSanError: when MemSan is attached and the chunk is not a
+                legal collapse candidate.
         """
+        if self.sanitizer is not None and vma is not None and chunk is not None:
+            self.sanitizer.verify_promotion(vma, chunk)
         if self.injector is not None:
             self.injector.check(FaultSite.PROMOTION)
 
-    def check_demotion(self) -> None:
+    def check_demotion(
+        self, vma: Optional["Vma"] = None, chunk: Optional[int] = None
+    ) -> None:
         """Gate one huge-page split.
 
         Raises:
             InjectedFaultError: when the ``demotion`` site fires.
+            MemSanError: when MemSan is attached and the chunk is not
+                huge-mapped.
         """
+        if self.sanitizer is not None and vma is not None and chunk is not None:
+            self.sanitizer.verify_demotion(vma, chunk)
         if self.injector is not None:
             self.injector.check(FaultSite.DEMOTION)
 

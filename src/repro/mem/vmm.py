@@ -150,6 +150,7 @@ class VirtualMemoryManager:
         self.node = node
         self.policy = policy
         self.config = config
+        self.sanitizer = node.sanitizer
         self.owner_id = node.register_owner(self)
         self.vmas: list[Vma] = []
         self._next_vma_id = 0
@@ -218,6 +219,7 @@ class VirtualMemoryManager:
 
         hugetlbfs-backed chunks return to their reservation pool instead
         of the general free pool."""
+        resident = vma.frame[vma.frame >= 0]
         for chunk in range(vma.nchunks):
             region = int(vma.huge_region[chunk])
             if region >= 0:
@@ -230,7 +232,10 @@ class VirtualMemoryManager:
         base_frames = vma.frame[(vma.frame >= 0) & ~vma.is_huge]
         if base_frames.size:
             self.node.free_frames(base_frames)
-        for frame in base_frames:
+        # Huge-backed frames live in the reverse map too (installed by
+        # _install_huge), so drop every resident frame — not just the
+        # base-mapped ones — or stale entries outlive the mapping.
+        for frame in resident:
             self._frame_map.pop(int(frame), None)
         vma.frame[:] = FRAME_UNMAPPED
         vma.is_huge[:] = False
@@ -426,11 +431,13 @@ class VirtualMemoryManager:
                     continue  # not fully resident
                 if self.promote_chunk(vma, chunk):
                     promoted += 1
+        if self.sanitizer is not None:
+            self.sanitizer.verify_vmm(self)
         return promoted
 
     def promote_chunk(self, vma: Vma, chunk: int) -> bool:
         """Promote one base-mapped chunk to a huge page (copy collapse)."""
-        self.policy.check_promotion()
+        self.policy.check_promotion(vma, chunk)
         region = self.node.alloc_huge_region(
             self.owner_id,
             allow_compaction=self.policy.khugepaged_compact,
@@ -504,7 +511,7 @@ class VirtualMemoryManager:
                 f"{vma.name} chunk {chunk} is hugetlbfs-backed; "
                 "explicit reservations cannot be split"
             )
-        self.policy.check_demotion()
+        self.policy.check_demotion(vma, chunk)
         pages = vma.chunk_pages(chunk)
         vma.huge_region[chunk] = -1
         vma.is_huge[pages] = False

@@ -8,9 +8,12 @@ with mid-size graphs and are marked ``slow``.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import set_sanitize
 from repro.config import MachineConfig, scaled, tiny
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import path_graph, power_law_graph, uniform_graph
@@ -22,6 +25,27 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: integration tests on the SCALED profile"
     )
+
+
+@pytest.fixture(autouse=True)
+def _enable_memsan():
+    """Run the whole suite under MemSan.
+
+    Every Machine/PhysicalMemory a test constructs gets the sanitizer
+    attached, so the existing suite doubles as an invariant stress test.
+    ``REPRO_SANITIZE=0`` in the environment opts out (used to bisect
+    whether a failure is a broken invariant or a broken check), and
+    tests can still force either way via ``Machine(sanitize=...)`` or
+    ``set_sanitize``.
+    """
+    if os.environ.get("REPRO_SANITIZE", "").strip().lower() in ("0", "false"):
+        yield
+        return
+    previous = set_sanitize(True)
+    try:
+        yield
+    finally:
+        set_sanitize(previous)
 
 
 @pytest.fixture

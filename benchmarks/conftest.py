@@ -62,15 +62,12 @@ def report(capsys):
     """Print a figure's table (past pytest capture) and persist it."""
 
     def _report(result: FigureResult) -> FigureResult:
-        text = result.render()
         with capsys.disabled():
             print()
-            print(text)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
-        (RESULTS_DIR / f"{result.figure_id}.json").write_text(
-            result.to_json() + "\n"
-        )
+            print(result.render())
+        # Atomic save (REP007): an interrupted benchmark run never
+        # leaves a torn results file behind.
+        result.save(str(RESULTS_DIR))
         return result
 
     return _report

@@ -48,8 +48,10 @@ from .errors import (
     ExperimentError,
     GraphError,
     InjectedFaultError,
+    JournalError,
     OutOfMemoryError,
     ReproError,
+    WatchdogExpiredError,
     WorkloadError,
 )
 from .faults import FaultInjector, FaultPlan, FaultSite, FaultSpec
@@ -64,6 +66,7 @@ from .graph import (
 )
 from .machine import Machine, RunMetrics
 from .mem import ThpMode, ThpPolicy
+from .runstate import CellWatchdog, RunJournal, spec_fingerprint
 from .workloads import (
     AllocationOrder,
     Bfs,
@@ -81,6 +84,7 @@ __all__ = [
     "AllocationOrder",
     "Bfs",
     "CellBudgetExceededError",
+    "CellWatchdog",
     "ConfigError",
     "CsrGraph",
     "DATASETS",
@@ -92,6 +96,7 @@ __all__ = [
     "FaultSpec",
     "GraphError",
     "InjectedFaultError",
+    "JournalError",
     "Machine",
     "MachineConfig",
     "OutOfMemoryError",
@@ -100,10 +105,12 @@ __all__ = [
     "PageSizeAdvisor",
     "PlacementPlan",
     "ReproError",
+    "RunJournal",
     "RunMetrics",
     "Sssp",
     "ThpMode",
     "ThpPolicy",
+    "WatchdogExpiredError",
     "WorkloadError",
     "apply_order",
     "create_workload",
@@ -116,6 +123,7 @@ __all__ = [
     "rmat_graph",
     "scaled",
     "selective_property_plan",
+    "spec_fingerprint",
     "tiny",
     "__version__",
 ]

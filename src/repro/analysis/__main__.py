@@ -20,7 +20,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Repo-specific static analysis: determinism (REP001/REP002), "
             "unit safety (REP003), fault-site completeness (REP004), "
-            "ledger hygiene (REP005) and export hygiene (REP006)."
+            "ledger hygiene (REP005), export hygiene (REP006) and "
+            "durable-write discipline (REP007)."
         ),
     )
     parser.add_argument(

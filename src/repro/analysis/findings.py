@@ -64,6 +64,12 @@ RULE_SUMMARIES: dict[str, str] = {
         "__all__ must list exactly the public names a package's "
         "__init__ binds"
     ),
+    "REP007": (
+        "durable-write discipline: journal/results paths are only "
+        "written through repro.runstate.atomic (atomic_write_text / "
+        "append_durable_line), never via direct open('w')/json.dump/"
+        "write_text"
+    ),
 }
 """One-line summary per rule, used by ``--list-rules`` and the docs."""
 

@@ -1,4 +1,4 @@
-"""Per-file AST lint rules (REP001–REP003, REP005, REP006).
+"""Per-file AST lint rules (REP001–REP003, REP005–REP007).
 
 Each rule is a function taking a :class:`ModuleContext` and returning
 raw findings; suppression filtering happens in the driver
@@ -789,11 +789,107 @@ def check_rep006(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+# ----------------------------------------------------------------------
+# REP007 — durable-write discipline
+# ----------------------------------------------------------------------
+
+RUNSTATE_PATH_FRAGMENT = "runstate/"
+"""The package whose atomic-write helpers REP007 exempts (they *are*
+the sanctioned write path)."""
+
+DURABLE_PATH_HINTS = ("journal", "result", "figure_id")
+"""Identifier/string fragments that mark an expression as touching a
+journal or results file."""
+
+_WRITE_ATTR_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _durable_hint(node: ast.AST) -> Optional[str]:
+    """The first journal/results hint mentioned anywhere in ``node``."""
+    for sub in ast.walk(node):
+        text = None
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+        elif isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        if text is None:
+            continue
+        lowered = text.lower()
+        for hint in DURABLE_PATH_HINTS:
+            if hint in lowered:
+                return hint
+    return None
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The write-ish mode string of an ``open()`` call, if any."""
+    mode_node: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not (
+        isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str)
+    ):
+        return None
+    mode = mode_node.value
+    if any(flag in mode for flag in ("w", "a", "x", "+")):
+        return mode
+    return None
+
+
+def check_rep007(ctx: ModuleContext) -> list[Finding]:
+    """Flag direct writes to journal/results paths outside runstate.
+
+    Journals and figure results are the files a crashed sweep resumes
+    from; a plain ``open(.., "w")`` / ``json.dump`` / ``Path.write_text``
+    can tear them.  All durable writes must route through
+    :func:`repro.runstate.atomic.atomic_write_text` (whole files) or
+    :func:`repro.runstate.atomic.append_durable_line` (journal appends).
+    """
+    if RUNSTATE_PATH_FRAGMENT in ctx.relpath.replace("\\", "/"):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.qualify(node.func)
+        what = None
+        if qual == "open" and node.args:
+            mode = _open_write_mode(node)
+            if mode is not None and _durable_hint(node.args[0]) is not None:
+                what = f"open(..., {mode!r})"
+        elif qual == "json.dump":
+            if _durable_hint(node) is not None:
+                what = "json.dump(...)"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_ATTR_METHODS
+        ):
+            if _durable_hint(node.func.value) is not None:
+                what = f".{node.func.attr}(...)"
+        if what is not None:
+            findings.append(
+                _finding(
+                    ctx, node, "REP007",
+                    f"{what} writes a journal/results path directly; "
+                    "route durable writes through repro.runstate.atomic "
+                    "(atomic_write_text / append_durable_line) so a "
+                    "crash cannot tear the file",
+                )
+            )
+    return findings
+
+
 PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
     "REP003": check_rep003,
     "REP005": check_rep005,
     "REP006": check_rep006,
+    "REP007": check_rep007,
 }
 """Per-file rule registry; REP004 is project-wide (see ``project.py``)."""

@@ -23,6 +23,10 @@ Subcommands:
     Print the page-size advisor's report for a dataset.
 ``profiles``
     List machine profiles and their geometry.
+``runs``
+    Inspect or compact a run journal (``list`` / ``show`` / ``gc``);
+    pairs with ``run``/``figure``'s ``--journal`` and ``--resume``
+    flags (see docs/checkpointing.md).
 """
 
 from __future__ import annotations
@@ -84,21 +88,69 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runstate_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="crash-safe run journal (JSONL); every cell outcome is "
+        "recorded durably (see docs/checkpointing.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in --journal (spec-hash "
+        "match); failed/in-flight/torn cells re-run",
+    )
+    parser.add_argument(
+        "--cell-cycles",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="watchdog: cap on simulated cycles per cell "
+        "(deterministic; default: unlimited)",
+    )
+    parser.add_argument(
+        "--cell-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: wall-clock deadline per cell "
+        "(catches host-side hangs; default: unlimited)",
+    )
+
+
 def _make_runner(args: argparse.Namespace):
     from .analysis.sanitizer import set_sanitize
     from .experiments.harness import ExperimentRunner
     from .faults.spec import FaultPlan
+    from .runstate.journal import RunJournal
 
     if getattr(args, "sanitize", False):
         set_sanitize(True)
     plan = None
     if getattr(args, "faults", None):
         plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    journal = None
+    if getattr(args, "journal", None):
+        # The journal's own injector (for the journal.* crash-safety
+        # sites) counts appends sweep-wide, unlike the per-cell
+        # simulation injectors.
+        journal = RunJournal(
+            args.journal,
+            injector=plan.make_injector() if plan and plan.enabled else None,
+        )
+    elif getattr(args, "resume", False):
+        raise ReproError("--resume requires --journal PATH")
     return ExperimentRunner(
         config=get_profile(args.profile),
         fault_plan=plan,
         max_retries=getattr(args, "retries", 2),
         cell_budget=getattr(args, "cell_budget", None),
+        journal=journal,
+        resume=getattr(args, "resume", False),
+        cell_cycles=getattr(args, "cell_cycles", None),
+        cell_deadline_seconds=getattr(args, "cell_deadline", None),
     )
 
 
@@ -128,6 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common_machine_args(run)
     _add_resilience_args(run)
+    _add_runstate_args(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument(
@@ -141,12 +194,39 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"
     )
+    figure.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also save <figure_id>.txt and .json under DIR "
+        "(atomic write: never leaves torn files)",
+    )
     _add_common_machine_args(figure)
     _add_resilience_args(figure)
+    _add_runstate_args(figure)
 
     sub.add_parser("datasets", help="list datasets (Table 2)")
     sub.add_parser("policies", help="list named policies")
     sub.add_parser("profiles", help="list machine profiles")
+
+    runs = sub.add_parser(
+        "runs", help="inspect or compact a run journal"
+    )
+    runs.add_argument(
+        "action",
+        choices=("list", "show", "gc"),
+        help="list: one line per cell; show: full record(s) as JSON; "
+        "gc: compact to completed cells",
+    )
+    runs.add_argument(
+        "--journal", required=True, metavar="PATH", help="journal file"
+    )
+    runs.add_argument(
+        "--spec",
+        default=None,
+        metavar="FINGERPRINT",
+        help="(show) restrict to one cell's spec fingerprint",
+    )
 
     advise = sub.add_parser(
         "advise", help="run the page-size advisor on a dataset"
@@ -257,6 +337,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     for function in selected:
         result = function(runner, **kwargs)
         print(result.to_json() if args.json else result.render())
+        if args.out:
+            txt_path, json_path = result.save(args.out)
+            print(f"saved {txt_path} and {json_path}", file=sys.stderr)
         if len(selected) > 1:
             print()
     if runner.failures:
@@ -333,6 +416,51 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .runstate.journal import RunJournal
+
+    journal = RunJournal(args.journal)
+    if args.action == "list":
+        counts = journal.counts()
+        print(
+            f"{args.journal}: {len(journal)} cell(s) "
+            f"(done={counts['done']} failed={counts['failed']} "
+            f"running={counts['running']}; "
+            f"{journal.torn_records} torn record(s) skipped)"
+        )
+        for record in journal.records():
+            cycles = (
+                f"{record.kernel_cycles:,}"
+                if record.kernel_cycles is not None
+                else "-"
+            )
+            print(
+                f"  {record.spec}  {record.status:8s} "
+                f"attempts={record.attempts} kernel_cycles={cycles}  "
+                f"{record.label}"
+            )
+        return 0
+    if args.action == "show":
+        records = list(journal.records())
+        if args.spec is not None:
+            records = [r for r in records if r.spec == args.spec]
+            if not records:
+                raise ReproError(
+                    f"no record with spec {args.spec!r} in {args.journal}"
+                )
+        for record in records:
+            print(json_module.dumps(record.to_dict(), indent=2))
+        return 0
+    kept, dropped = journal.gc()
+    print(
+        f"{args.journal}: kept {kept} completed cell(s), "
+        f"dropped {dropped} superseded/failed/in-flight record(s)"
+    )
+    return 0
+
+
 COMMANDS = {
     "run": _cmd_run,
     "figure": _cmd_figure,
@@ -340,6 +468,7 @@ COMMANDS = {
     "policies": _cmd_policies,
     "profiles": _cmd_profiles,
     "advise": _cmd_advise,
+    "runs": _cmd_runs,
 }
 
 

@@ -95,3 +95,34 @@ class CellBudgetExceededError(ExperimentError):
     misbehaving workload degrades into a structured ``CellFailure``
     instead of burning a figure batch's time budget.
     """
+
+
+class WatchdogExpiredError(ExperimentError):
+    """The cell watchdog fired: a cell ran past its simulated-cycle
+    budget or its wall-clock deadline.
+
+    Raised by :class:`repro.runstate.watchdog.CellWatchdog` from inside
+    the machine's compute loop.  The harness absorbs it into a
+    ``CellFailure`` labelled ``FAILED(watchdog)`` without retrying — a
+    hung or runaway cell cannot be fixed by replaying it, only bounded.
+
+    Attributes:
+        reason: ``"cycles"`` or ``"wall-clock"`` — which bound tripped.
+    """
+
+    cause_label = "watchdog"
+    """Rendered into ``CellFailure`` markers instead of the class name."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        self.reason = reason
+        super().__init__(f"watchdog expired ({reason}): {detail}")
+
+
+class JournalError(ReproError):
+    """A run journal could not be read or is being misused.
+
+    Torn or corrupt *records* never raise this — they are detected via
+    the per-record integrity hash and treated as never-run.  This error
+    covers structural misuse: a journal path that exists but is a
+    directory, an unreadable file, or recording to a closed journal.
+    """

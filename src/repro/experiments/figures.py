@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 from ..workloads.base import ARRAY_NAMES
 from .harness import CellFailure, ExperimentRunner
 from .policies import POLICIES, Policy, selective_policy
-from .reporting import format_table, geomean
+from .reporting import format_table, geomean, save_figure_result
 from .scenarios import (
     Scenario,
     constrained,
@@ -90,6 +90,12 @@ class FigureResult:
             indent=2,
             default=encode,
         )
+
+    def save(self, directory: str) -> tuple[str, str]:
+        """Write this figure's ``.txt`` and ``.json`` into ``directory``
+        via the crash-safe atomic path (see :func:`~repro.experiments
+        .reporting.save_figure_result`); returns the two paths."""
+        return save_figure_result(self, directory)
 
     def series(self, key_column: str, value_column: str,
                **filters: object) -> dict:

@@ -31,6 +31,16 @@ aborting the whole figure batch:
 Each cell gets its own injector seeded from the plan alone, so a cell's
 fault sequence does not depend on batch order, and cells the plan never
 touches stay bit-for-bit identical to a fault-free run.
+
+Durability (see ``docs/checkpointing.md``): attach a
+:class:`~repro.runstate.journal.RunJournal` and every cell outcome is
+recorded crash-safely; with ``resume=True`` cells whose spec
+fingerprint matches a completed journal record are reconstructed from
+the journal instead of re-simulated, so an interrupted sweep picks up
+where it left off.  A :class:`~repro.runstate.watchdog.CellWatchdog`
+(``cell_cycles`` / ``cell_deadline_seconds``) bounds each cell by
+simulated-cycle budget and wall-clock deadline, absorbing hung or
+runaway cells as ``FAILED(watchdog)``.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ from ..errors import (
     ExperimentError,
     InjectedFaultError,
     OutOfMemoryError,
+    WatchdogExpiredError,
 )
 from ..faults.injector import FaultInjector
 from ..faults.sites import FaultSite
@@ -54,6 +65,9 @@ from ..graph.io import on_disk_bytes
 from ..graph.reorder import DBG_COST, ORDERINGS
 from ..machine.machine import Machine
 from ..machine.metrics import RunMetrics
+from ..runstate.journal import RunJournal
+from ..runstate.serialize import spec_fingerprint
+from ..runstate.watchdog import CellWatchdog
 from ..workloads.layout import MemoryLayout
 from ..workloads.registry import create_workload, workload_needs_weights
 from .policies import Policy
@@ -81,9 +95,11 @@ class CellFailure:
     :class:`~repro.machine.metrics.RunMetrics` would normally go.  To
     keep figure code free of per-cell error handling, a failure is
     *absorbing*: any metric attribute, call or arithmetic involving it
-    yields the failure itself, comparisons rank it below every number,
-    and it renders as ``FAILED(site)`` — so derived columns degrade to
-    an explicit failure marker instead of crashing the batch.
+    yields the failure itself, comparisons rank it *after* every number
+    (failures always sort last, ordered among themselves by cell
+    coordinates), and it renders as ``FAILED(site)`` — so derived
+    columns degrade to an explicit failure marker instead of crashing
+    the batch.
     """
 
     workload: str
@@ -157,10 +173,41 @@ class CellFailure:
     def __round__(self, ndigits: Optional[int] = None) -> "CellFailure":
         return self
 
+    # -- ordering ------------------------------------------------------
+    # Failures sort deterministically *last*: against anything that is
+    # not a failure, `failure > x` is True and `failure < x` is False
+    # (so sorted() pushes failures past every number); among failures,
+    # the cell-coordinate key keeps the order stable across runs.
+
+    def _order_key(self) -> tuple[str, str, str, str, str, str]:
+        return (
+            self.workload,
+            self.dataset,
+            self.policy,
+            self.scenario,
+            self.error,
+            self.message,
+        )
+
     def __lt__(self, other) -> bool:
+        if isinstance(other, CellFailure):
+            return self._order_key() < other._order_key()
         return False
 
-    __gt__ = __le__ = __ge__ = __lt__
+    def __le__(self, other) -> bool:
+        if isinstance(other, CellFailure):
+            return self._order_key() <= other._order_key()
+        return False
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, CellFailure):
+            return self._order_key() > other._order_key()
+        return True
+
+    def __ge__(self, other) -> bool:
+        if isinstance(other, CellFailure):
+            return self._order_key() >= other._order_key()
+        return True
 
     def __str__(self) -> str:
         return self.label
@@ -192,6 +239,15 @@ class ExperimentRunner:
         capture_failures: when True (default), failed cells become
             cached :class:`CellFailure` results; when False the error
             propagates after retries (strict mode for tests/debugging).
+        journal: optional :class:`~repro.runstate.journal.RunJournal`;
+            when set, every cell outcome is appended crash-safely.
+        resume: when True (and a journal is set), cells whose spec
+            fingerprint matches a completed journal record are decoded
+            from the journal instead of re-simulated.
+        cell_cycles: per-cell simulated-cycle watchdog budget
+            (deterministic — participates in cell identity).
+        cell_deadline_seconds: per-cell wall-clock watchdog deadline
+            (nondeterministic by design — excluded from cell identity).
     """
 
     config: MachineConfig = field(default_factory=scaled)
@@ -201,6 +257,10 @@ class ExperimentRunner:
     max_retries: int = 2
     cell_budget: Optional[int] = None
     capture_failures: bool = True
+    journal: Optional[RunJournal] = None
+    resume: bool = False
+    cell_cycles: Optional[int] = None
+    cell_deadline_seconds: Optional[float] = None
     failures: list[CellFailure] = field(default_factory=list)
     _cache: dict[tuple, CellResult] = field(default_factory=dict)
     _graph_cache: dict[tuple[str, str, bool], tuple[CsrGraph, int]] = field(
@@ -247,10 +307,28 @@ class ExperimentRunner:
             plan,
             self.max_retries,
             self.cell_budget,
+            self.cell_cycles,
         )
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+
+        spec = None
+        cell_coords = None
+        if self.journal is not None:
+            spec = self.cell_spec(workload_name, dataset_name, policy, scenario)
+            cell_coords = {
+                "workload": workload_name,
+                "dataset": dataset_name,
+                "policy": policy.name,
+                "scenario": scenario.name,
+            }
+            if self.resume:
+                recorded = self.journal.result(spec)
+                if recorded is not None:
+                    self._cache[key] = recorded
+                    return recorded
+            self.journal.begin(spec, cell_coords)
 
         graph, preprocess_accesses = self._prepared_graph(
             dataset_name, policy.plan.reorder,
@@ -284,9 +362,16 @@ class ExperimentRunner:
                     workload_name, dataset_name, policy, scenario,
                     error, attempts,
                 )
-            except (CellBudgetExceededError, OutOfMemoryError) as error:
+            except (
+                CellBudgetExceededError,
+                OutOfMemoryError,
+                WatchdogExpiredError,
+            ) as error:
                 # Deterministic failures: retrying replays the identical
-                # simulation, so capture immediately.
+                # simulation, so capture immediately.  (A wall-clock
+                # watchdog expiry is not strictly deterministic, but a
+                # cell slow enough to trip it would burn the retry
+                # budget re-wedging the sweep — absorb it immediately.)
                 result = self._capture(
                     workload_name, dataset_name, policy, scenario,
                     error, attempts,
@@ -303,8 +388,38 @@ class ExperimentRunner:
                 result = metrics
             break
 
+        if self.journal is not None:
+            # Journal append failures propagate: a sweep whose journal
+            # cannot be written must crash (and later resume), not
+            # silently continue unjournaled.
+            self.journal.record_result(spec, cell_coords, result)
         self._cache[key] = result
         return result
+
+    def cell_spec(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+    ) -> str:
+        """The cell's journal identity (see
+        :func:`~repro.runstate.serialize.spec_fingerprint`): derived
+        from the cell specification alone — never from object identity
+        or cache state — so :meth:`clear_cache` and process restarts do
+        not invalidate journal records."""
+        return spec_fingerprint(
+            workload=workload_name,
+            dataset=dataset_name,
+            policy=policy,
+            scenario=scenario,
+            pagerank_iterations=self.pagerank_iterations,
+            profile_name=self.config.name,
+            fault_plan=self.effective_fault_plan,
+            max_retries=self.max_retries,
+            cell_budget=self.cell_budget,
+            cell_cycles=self.cell_cycles,
+        )
 
     def _simulate_cell(
         self,
@@ -321,6 +436,14 @@ class ExperimentRunner:
         machine = Machine(self.config, policy.make_thp(), injector=injector)
         layout = MemoryLayout(workload, policy.plan.order)
         self._apply_scenario(machine, scenario, layout, policy.plan)
+        # A fresh watchdog per attempt: retries must not inherit an
+        # already-spent cycle budget or wall-clock window.
+        watchdog = None
+        if self.cell_cycles is not None or self.cell_deadline_seconds is not None:
+            watchdog = CellWatchdog(
+                max_cycles=self.cell_cycles,
+                deadline_seconds=self.cell_deadline_seconds,
+            )
         return machine.run(
             workload,
             plan=policy.plan,
@@ -330,6 +453,7 @@ class ExperimentRunner:
             dataset=dataset_name,
             manager=policy.make_manager(),
             access_budget=self.cell_budget,
+            watchdog=watchdog,
         )
 
     def _capture(
@@ -349,7 +473,10 @@ class ExperimentRunner:
             dataset=dataset_name,
             policy=policy.name,
             scenario=scenario.name,
-            error=type(error).__name__,
+            # Errors that declare a cause label (e.g. the watchdog's
+            # "watchdog") render as FAILED(label); the rest fall back to
+            # the exception class name.
+            error=getattr(error, "cause_label", type(error).__name__),
             message=str(error),
             attempts=attempts,
             site=getattr(error, "site", None),
@@ -456,7 +583,12 @@ class ExperimentRunner:
 
     def clear_cache(self) -> None:
         """Drop all cached cells *and* prepared graphs (frees memory
-        between figure batches); failure records are reset too."""
+        between figure batches); failure records are reset too.
+
+        Journal state is untouched: spec fingerprints derive from the
+        cell *specification* (see :meth:`cell_spec`), not from object
+        identity or cache contents, so completed journal records remain
+        valid — and resumable — across any number of cache clears."""
         self._cache.clear()
         self._graph_cache.clear()
         self.failures.clear()

@@ -1,14 +1,20 @@
-"""Plain-text table rendering for experiment results.
+"""Plain-text table rendering and durable saving for experiment results.
 
 The paper's artifact scripts emit text tables per experiment; these
 helpers render the same kind of output from the harness's row dicts, so
 benchmark runs print the rows a reader can compare against the paper's
-figures.
+figures.  :func:`save_figure_result` is the one sanctioned way to put a
+figure on disk: it goes through :func:`repro.runstate.atomic
+.atomic_write_text`, so an interrupted save can never leave a torn
+half-figure behind (the REP007 lint enforces this discipline).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterable, Optional
+
+from ..runstate.atomic import atomic_write_text
 
 
 def _format_value(value: Any) -> str:
@@ -57,13 +63,32 @@ def format_table(
 def geomean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's cross-configuration aggregate).
 
-    Failed cells are excluded: a ``CellFailure`` compares False against
-    every number, so the ``v > 0`` filter drops it and the aggregate
-    covers the cells that did produce data."""
-    values = [v for v in values if v > 0]
+    Failed cells are excluded explicitly: a ``CellFailure`` carries
+    ``ok=False`` (and — because failures sort *after* every number —
+    would otherwise pass a bare ``v > 0`` filter), so the ``ok`` check
+    drops it and the aggregate covers the cells that did produce
+    data."""
+    values = [v for v in values if getattr(v, "ok", True) and v > 0]
     if not values:
         return 0.0
     product = 1.0
     for value in values:
         product *= value
     return product ** (1.0 / len(values))
+
+
+def save_figure_result(result: Any, directory: str) -> tuple[str, str]:
+    """Write ``<figure_id>.txt`` (rendered table) and
+    ``<figure_id>.json`` (machine-readable rows) under ``directory``.
+
+    Both files are written atomically (tmp + fsync + rename), so a
+    crash mid-save leaves either the previous complete version or
+    nothing — never a torn file that a resumed run would have to
+    second-guess.  Returns ``(txt_path, json_path)``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    txt_path = os.path.join(directory, f"{result.figure_id}.txt")
+    json_path = os.path.join(directory, f"{result.figure_id}.json")
+    atomic_write_text(txt_path, result.render() + "\n")
+    atomic_write_text(json_path, result.to_json() + "\n")
+    return txt_path, json_path

@@ -24,7 +24,12 @@ Site → wiring point:
 - ``SWAP_OUT`` / ``SWAP_IN`` — swap-device I/O
   (:class:`~repro.mem.swap.SwapDevice`),
 - ``STAGING`` — staging the input file through the page cache
-  (:meth:`PageCache.read_file`).
+  (:meth:`PageCache.read_file`),
+- ``JOURNAL_WRITE`` / ``JOURNAL_FSYNC`` — the run journal's durable
+  append path (:mod:`repro.runstate`): the record write and the fsync
+  that makes it durable.  Arming them simulates a crash mid-journal —
+  ``journal.write`` tears the record being appended — so the
+  crash-safety machinery is itself testable under injection.
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ class FaultSite(Enum):
     SWAP_OUT = "swap-out"
     SWAP_IN = "swap-in"
     STAGING = "staging"
+    JOURNAL_WRITE = "journal.write"
+    JOURNAL_FSYNC = "journal.fsync"
 
     def __str__(self) -> str:  # used in CellFailure labels / CLI output
         return self.value

@@ -34,6 +34,7 @@ from ..mem.profiler import PageProfiler
 from ..mem.swap import SwapDevice
 from ..mem.thp import ThpPolicy
 from ..mem.vmm import VirtualMemoryManager
+from ..runstate.watchdog import CellWatchdog
 from ..tlb.hierarchy import TranslationHierarchy, TranslationStats
 from ..workloads.base import ARRAY_NAMES, Workload
 from ..workloads.layout import MemoryLayout
@@ -143,6 +144,7 @@ class Machine:
         dataset: str = "",
         manager: Optional[HugePageManager] = None,
         access_budget: Optional[int] = None,
+        watchdog: Optional[CellWatchdog] = None,
     ) -> RunMetrics:
         """Execute one workload end to end and measure it.
 
@@ -172,14 +174,24 @@ class Machine:
         stream, so a cell stops within one workload iteration of the
         budget instead of consuming a whole figure batch's time.
 
+        ``watchdog`` (a :class:`~repro.runstate.watchdog.CellWatchdog`)
+        additionally bounds the run by simulated-cycle budget and
+        wall-clock deadline, checked at the same per-stream cadence
+        (plus once after initialization, so an init-phase runaway is
+        caught too).
+
         Raises:
             CellBudgetExceededError: if the compute phase passes
                 ``access_budget`` simulated accesses.
+            WatchdogExpiredError: if the watchdog's cycle budget or
+                wall-clock deadline is exceeded.
             InjectedFaultError: if a fault plan is armed and one of its
                 sites fires during the run.
         """
         if plan is None:
             plan = PlacementPlan.none()
+        if watchdog is not None:
+            watchdog.start()
         ledger = self.physical.ledger
         init_start_cycles = ledger.total_cycles
 
@@ -210,8 +222,11 @@ class Machine:
         init_counts = dict(ledger.counts)
         init_cycle_counts = dict(ledger.cycles)
         init_cycles = ledger.total_cycles - init_start_cycles
+        if watchdog is not None:
+            watchdog.check(init_cycles)
 
         # Phase 3: compute.
+        cost = self.config.cost
         hierarchy = TranslationHierarchy(self.config.tlb)
         stats = TranslationStats()
         compute_start_cycles = ledger.total_cycles
@@ -240,6 +255,17 @@ class Machine:
                     f"{stats.total_accesses:,} simulated accesses > "
                     f"budget {access_budget:,}"
                 )
+            if watchdog is not None:
+                # Same expression as the final compute_cycles, evaluated
+                # incrementally; only paid when a watchdog is armed.
+                watchdog.check(
+                    init_cycles
+                    + int(
+                        stats.total_accesses * cost.mem_access
+                        + stats.translation_cycles(cost)
+                        + (ledger.total_cycles - compute_start_cycles)
+                    )
+                )
             if manager is not None and profiler is not None:
                 profiler.observe(trace, process.vma_by_array)
                 if manager.on_iteration():
@@ -247,7 +273,6 @@ class Machine:
                     hierarchy.flush()
         kernel_stall_cycles = ledger.total_cycles - compute_start_cycles
 
-        cost = self.config.cost
         compute_cycles = int(
             stats.total_accesses * cost.mem_access
             + stats.translation_cycles(cost)

@@ -1,0 +1,51 @@
+"""Durable run state: crash-safe journaling, resume, and the watchdog.
+
+The paper's figures come from large multi-cell sweeps; this package
+makes sweep execution restartable and bounded:
+
+- :class:`RunJournal` — an append-only JSONL journal (one
+  integrity-hashed record per cell event) written through the atomic /
+  durable helpers in :mod:`repro.runstate.atomic`;
+- :func:`spec_fingerprint` — cell identity derived purely from the cell
+  specification, so resumed sweeps recognize completed cells across
+  processes and cache clears;
+- :class:`CellWatchdog` — per-cell simulated-cycle budget plus
+  wall-clock deadline, absorbing hung cells as ``FAILED(watchdog)``.
+
+See ``docs/checkpointing.md`` for the journal format and resume
+semantics, and ``docs/faults.md`` for the ``journal.*`` fault sites
+that make the crash path itself testable.
+"""
+
+from .atomic import append_durable_line, atomic_write_text
+from .journal import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_RUNNING,
+    JournalRecord,
+    RunJournal,
+)
+from .serialize import (
+    canonical_json,
+    decode_result,
+    encode_result,
+    integrity_hash,
+    spec_fingerprint,
+)
+from .watchdog import CellWatchdog
+
+__all__ = [
+    "CellWatchdog",
+    "JournalRecord",
+    "RunJournal",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_RUNNING",
+    "append_durable_line",
+    "atomic_write_text",
+    "canonical_json",
+    "decode_result",
+    "encode_result",
+    "integrity_hash",
+    "spec_fingerprint",
+]

@@ -1,0 +1,105 @@
+"""Durable write primitives for run-state files.
+
+Two write disciplines, matching the two kinds of run-state file:
+
+- :func:`atomic_write_text` — whole-file replacement via
+  write-to-temp + fsync + ``os.replace``.  Readers never observe a
+  partial file: they see either the old contents or the new, which is
+  what figure outputs and journal compaction (``runs gc``) need.
+- :func:`append_durable_line` — append one newline-terminated record to
+  an existing file with flush + fsync.  Appends can tear (a crash mid-
+  write leaves a prefix of the line), which is why every journal record
+  carries an integrity hash (:mod:`repro.runstate.journal`) and torn
+  records are detected on load and treated as never written.
+
+Both helpers expose the fault sites ``journal.write`` (evaluated before
+bytes reach the file; on fire the helper *tears* the record — writes a
+truncated prefix — before re-raising, so crash-mid-write is genuinely
+simulated) and ``journal.fsync`` (evaluated between write and fsync; on
+fire the bytes are in the file but durability is unknown).
+
+Everything else in the repository that persists journal or result files
+must route through these helpers — rule ``REP007`` in
+:mod:`repro.analysis` enforces it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..faults.injector import FaultInjector
+from ..faults.sites import FaultSite
+
+
+def _fsync_directory(path: str) -> None:
+    """fsync the directory entry so a rename/append survives a crash."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platforms/filesystems without directory fsync
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str,
+    text: str,
+    injector: Optional[FaultInjector] = None,
+) -> None:
+    """Replace ``path``'s contents atomically (write-temp-then-rename).
+
+    The temporary file lives in the target's directory so the final
+    ``os.replace`` stays within one filesystem and is atomic.  A crash
+    at any point leaves either the old file or the new file, never a
+    mix; the orphaned ``.tmp`` is overwritten by the next write.
+    """
+    path = os.fspath(path)
+    if injector is not None:
+        injector.check(FaultSite.JOURNAL_WRITE)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        if injector is not None:
+            injector.check(FaultSite.JOURNAL_FSYNC)
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(path)
+
+
+def append_durable_line(
+    path: str,
+    line: str,
+    injector: Optional[FaultInjector] = None,
+) -> None:
+    """Append one record line to ``path`` with flush + fsync.
+
+    ``line`` must not contain a newline; the terminator is added here.
+    When the ``journal.write`` fault fires, a *prefix* of the line is
+    written before the error propagates — deliberately simulating the
+    torn record a real crash mid-append leaves behind, so recovery
+    paths are exercised against genuine tearing.
+    """
+    path = os.fspath(path)
+    if "\n" in line:
+        raise ValueError("journal records are single lines")
+    if injector is not None:
+        try:
+            injector.check(FaultSite.JOURNAL_WRITE)
+        except Exception:
+            # Crash mid-write: half the record reaches the disk.
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        if injector is not None:
+            injector.check(FaultSite.JOURNAL_FSYNC)
+        os.fsync(handle.fileno())

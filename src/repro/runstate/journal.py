@@ -1,0 +1,281 @@
+"""The crash-safe run journal.
+
+An append-only JSONL file with one record per cell *event*:
+
+``{"seq": N, "spec": "<fingerprint>", "status": "running" | "done" |
+"failed", "cell": {workload, dataset, policy, scenario}, "attempts": A,
+"kernel_cycles": C, "payload": {...}, "integrity": "<hash>"}``
+
+- ``spec`` is the cell's :func:`~repro.runstate.serialize
+  .spec_fingerprint` — derived from the cell specification alone, so a
+  fresh process (or a runner whose caches were cleared) recomputes the
+  same identity.
+- ``integrity`` is a truncated sha256 over the record's canonical JSON
+  (without the hash field itself).  Appends can tear on a crash; a torn
+  record fails the parse or the hash and is treated as never written.
+- The *last valid* record per spec wins: ``begin`` appends a
+  ``running`` record before the cell simulates and ``record_result``
+  appends the ``done``/``failed`` outcome after, so a crash mid-cell
+  leaves ``running`` as the latest state and resume re-runs the cell.
+
+Resume semantics (:meth:`RunJournal.result`): only ``done`` records are
+reusable.  ``failed`` and ``running`` records — and torn tails — are
+re-run; deterministic failures will simply fail again and be
+re-recorded.
+
+``RunJournal.gc`` compacts the file to the latest ``done`` record per
+spec via an atomic whole-file rewrite (:func:`~repro.runstate.atomic
+.atomic_write_text`), dropping superseded, failed, in-flight and torn
+records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..errors import JournalError
+from ..faults.injector import FaultInjector
+from .atomic import append_durable_line, atomic_write_text
+from .serialize import canonical_json, decode_result, encode_result, integrity_hash
+
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+STATUSES = (STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+
+
+@dataclass
+class JournalRecord:
+    """One validated journal record (integrity hash already checked)."""
+
+    seq: int
+    spec: str
+    status: str
+    cell: dict[str, str]
+    attempts: int = 1
+    kernel_cycles: Optional[int] = None
+    payload: Optional[dict[str, Any]] = None
+
+    @property
+    def label(self) -> str:
+        """``workload/dataset/policy/scenario`` for listings."""
+        return "{workload}/{dataset}/{policy}/{scenario}".format(
+            **{
+                key: self.cell.get(key, "?")
+                for key in ("workload", "dataset", "policy", "scenario")
+            }
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict *without* the integrity field."""
+        return {
+            "seq": self.seq,
+            "spec": self.spec,
+            "status": self.status,
+            "cell": self.cell,
+            "attempts": self.attempts,
+            "kernel_cycles": self.kernel_cycles,
+            "payload": self.payload,
+        }
+
+
+def _parse_line(line: str) -> Optional[JournalRecord]:
+    """One line → record, or ``None`` for a torn/corrupt line."""
+    try:
+        raw = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(raw, dict):
+        return None
+    claimed = raw.pop("integrity", None)
+    if claimed is None or integrity_hash(raw) != claimed:
+        return None
+    try:
+        record = JournalRecord(
+            seq=int(raw["seq"]),
+            spec=str(raw["spec"]),
+            status=str(raw["status"]),
+            cell=dict(raw.get("cell") or {}),
+            attempts=int(raw.get("attempts", 1)),
+            kernel_cycles=raw.get("kernel_cycles"),
+            payload=raw.get("payload"),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if record.status not in STATUSES:
+        return None
+    return record
+
+
+def _render_line(record: JournalRecord) -> str:
+    payload = record.to_dict()
+    payload["integrity"] = integrity_hash(payload)
+    return canonical_json(payload)
+
+
+class RunJournal:
+    """Append-only, integrity-hashed JSONL journal for one sweep.
+
+    Args:
+        path: the journal file; created on first append.
+        injector: optional fault injector consulted at the
+            ``journal.write`` / ``journal.fsync`` sites (crash-safety
+            testing); ``None`` (the default) is the zero-cost path.
+    """
+
+    def __init__(
+        self, path: str, injector: Optional[FaultInjector] = None
+    ) -> None:
+        self.path = os.fspath(path)
+        self.injector = injector
+        self._latest: dict[str, JournalRecord] = {}
+        self._seq = 0
+        self.torn_records = 0
+        """Torn/corrupt lines skipped during the initial load."""
+        self._tail_torn = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        if os.path.isdir(self.path):
+            raise JournalError(f"journal path {self.path!r} is a directory")
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {self.path!r}: {exc}"
+            ) from exc
+        self._tail_torn = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = _parse_line(line)
+            if record is None:
+                self.torn_records += 1
+                continue
+            self._latest[record.spec] = record
+            self._seq = max(self._seq, record.seq)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def lookup(self, spec: str) -> Optional[JournalRecord]:
+        """The latest valid record for ``spec``, if any."""
+        return self._latest.get(spec)
+
+    def result(self, spec: str) -> Optional[Any]:
+        """The reusable result for ``spec``: the decoded payload of a
+        ``done`` record, else ``None`` (failed/in-flight/torn records
+        are never reused — resume re-runs those cells)."""
+        record = self._latest.get(spec)
+        if record is None or record.status != STATUS_DONE:
+            return None
+        if record.payload is None:
+            return None
+        return decode_result(record.payload)
+
+    def records(self) -> Iterator[JournalRecord]:
+        """Latest record per spec, in first-seen (seq) order."""
+        return iter(
+            sorted(self._latest.values(), key=lambda record: record.seq)
+        )
+
+    def counts(self) -> dict[str, int]:
+        """``{status: count}`` over the latest records."""
+        out = {status: 0 for status in STATUSES}
+        for record in self._latest.values():
+            out[record.status] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def _append(self, record: JournalRecord) -> None:
+        if self._tail_torn:
+            # Terminate the torn tail left by a crash so the new record
+            # starts on its own line (the torn prefix stays — and stays
+            # invalid — for post-mortems; `runs gc` drops it).
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._tail_torn = False
+        append_durable_line(
+            self.path, _render_line(record), injector=self.injector
+        )
+        self._latest[record.spec] = record
+
+    def begin(self, spec: str, cell: dict[str, str]) -> None:
+        """Record that ``spec`` is about to simulate (in-flight)."""
+        self._seq += 1
+        self._append(
+            JournalRecord(
+                seq=self._seq, spec=spec, status=STATUS_RUNNING, cell=cell
+            )
+        )
+
+    def record_result(
+        self, spec: str, cell: dict[str, str], result: Any
+    ) -> None:
+        """Record a finished cell: metrics → ``done``, failure →
+        ``failed`` (with the full payload either way, so resume can
+        reconstruct metrics and reports can show failure causes)."""
+        payload = encode_result(result)
+        ok = bool(getattr(result, "ok", False))
+        kernel_cycles = result.kernel_cycles if ok else None
+        self._seq += 1
+        self._append(
+            JournalRecord(
+                seq=self._seq,
+                spec=spec,
+                status=STATUS_DONE if ok else STATUS_FAILED,
+                cell=cell,
+                attempts=int(getattr(result, "attempts", 1) or 1),
+                kernel_cycles=kernel_cycles,
+                payload=payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def gc(self) -> tuple[int, int]:
+        """Compact to the latest ``done`` record per spec.
+
+        Returns ``(kept, dropped)`` where dropped counts superseded,
+        failed, in-flight and torn records removed from the file.  The
+        rewrite is atomic: a crash mid-gc leaves the original journal.
+        """
+        total_lines = 0
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                total_lines = sum(
+                    1 for line in handle if line.strip()
+                )
+        kept = [
+            record
+            for record in self.records()
+            if record.status == STATUS_DONE
+        ]
+        text = "".join(_render_line(record) + "\n" for record in kept)
+        atomic_write_text(self.path, text, injector=self.injector)
+        self._latest = {record.spec: record for record in kept}
+        self.torn_records = 0
+        self._tail_torn = False
+        return len(kept), total_lines - len(kept)

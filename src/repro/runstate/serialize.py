@@ -1,0 +1,233 @@
+"""Canonical serialization for journal records.
+
+Three concerns live here:
+
+- :func:`canonical_json` / :func:`integrity_hash` — the byte-stable
+  encoding every journal record is hashed over.  Keys are sorted and
+  separators fixed, so the hash of a record is a pure function of its
+  contents, independent of dict insertion order or Python version.
+- :func:`spec_fingerprint` — the identity of one experiment cell.  It
+  is derived *only* from the cell's specification (workload, dataset,
+  policy plan, scenario, machine profile name, harness knobs), never
+  from object identity — so clearing the runner's caches, restarting
+  the process, or re-parsing the same CLI flags all reproduce the same
+  fingerprint and a resumed sweep recognizes its own completed cells.
+- :func:`encode_result` / :func:`decode_result` — full-fidelity
+  round-trip of a :class:`~repro.machine.metrics.RunMetrics` or
+  :class:`~repro.experiments.harness.CellFailure` through JSON, so a
+  figure regenerated from journal payloads is byte-identical to one
+  regenerated from live simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import JournalError
+from ..faults.sites import SITES_BY_NAME
+from ..faults.spec import FaultPlan
+
+FINGERPRINT_BYTES = 16
+"""Hex characters kept from the spec/integrity sha256 digests."""
+
+
+def canonical_json(payload: dict[str, Any]) -> str:
+    """Byte-stable JSON: sorted keys, fixed separators, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def integrity_hash(payload: dict[str, Any]) -> str:
+    """Truncated sha256 over the canonical encoding of ``payload``."""
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:FINGERPRINT_BYTES]
+
+
+# ----------------------------------------------------------------------
+# Cell identity
+# ----------------------------------------------------------------------
+
+
+def _plan_fingerprint(plan: Optional[FaultPlan]) -> Optional[str]:
+    """The fault plan's cell-facing identity.
+
+    Journal-infrastructure sites (``journal.*``) are excluded: they
+    perturb the *recording* of a cell, never its simulation, so a sweep
+    interrupted by an armed ``journal.write`` fault and resumed without
+    it must still recognize its completed cells.
+    """
+    if plan is None:
+        return None
+    specs = [
+        f"{spec.site.value}:{spec.trigger_label}"
+        for spec in plan.specs
+        if not spec.site.value.startswith("journal.")
+    ]
+    if not specs:
+        return None
+    return f"{','.join(specs)}@seed={plan.seed}"
+
+
+def spec_fingerprint(
+    workload: str,
+    dataset: str,
+    policy: Any,
+    scenario: Any,
+    pagerank_iterations: int,
+    profile_name: str,
+    fault_plan: Optional[FaultPlan],
+    max_retries: int,
+    cell_budget: Optional[int],
+    cell_cycles: Optional[int] = None,
+) -> str:
+    """Deterministic identity of one experiment cell.
+
+    Everything that can change the cell's *simulated outcome* is
+    included; everything that cannot (wall-clock deadlines, journal
+    paths, journal-site faults) is deliberately excluded, so resuming
+    under different infrastructure settings still matches.
+    """
+    spec = {
+        "workload": workload,
+        "dataset": dataset,
+        "policy": policy.name,
+        "order": policy.plan.order.value,
+        "advise": sorted(policy.plan.advise_fractions.items()),
+        "hugetlb": sorted(policy.plan.hugetlb_fractions.items()),
+        "reorder": policy.plan.reorder,
+        "scenario": {
+            "name": scenario.name,
+            "pressure_gb": scenario.pressure_gb,
+            "frag_level": scenario.frag_level,
+            "noise_nonmovable_gb": scenario.noise_nonmovable_gb,
+            "noise_movable_gb": scenario.noise_movable_gb,
+            "tmpfs_remote": scenario.tmpfs_remote,
+        },
+        "pagerank_iterations": pagerank_iterations,
+        "profile": profile_name,
+        "faults": _plan_fingerprint(fault_plan),
+        "max_retries": max_retries,
+        "cell_budget": cell_budget,
+        "cell_cycles": cell_cycles,
+    }
+    digest = hashlib.sha256(canonical_json(spec).encode("utf-8"))
+    return digest.hexdigest()[:FINGERPRINT_BYTES]
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+
+
+def encode_result(result: Any) -> dict[str, Any]:
+    """Encode a cell result (metrics or failure) as a JSON-safe dict."""
+    from ..experiments.harness import CellFailure
+
+    if isinstance(result, CellFailure):
+        return {
+            "kind": "failure",
+            "workload": result.workload,
+            "dataset": result.dataset,
+            "policy": result.policy,
+            "scenario": result.scenario,
+            "error": result.error,
+            "message": result.message,
+            "attempts": result.attempts,
+            "site": result.site.value if result.site is not None else None,
+            "fault_hit": result.fault_hit,
+        }
+    translation = result.translation
+    return {
+        "kind": "metrics",
+        "workload": result.workload,
+        "policy_label": result.policy_label,
+        "dataset": result.dataset,
+        "translation": {
+            "accesses": [int(v) for v in translation.accesses],
+            "l1_misses": [int(v) for v in translation.l1_misses],
+            "walks": [int(v) for v in translation.walks],
+        },
+        "array_names": {
+            str(array_id): name
+            for array_id, name in result.array_names.items()
+        },
+        "compute_cycles": result.compute_cycles,
+        "init_cycles": result.init_cycles,
+        "preprocess_cycles": result.preprocess_cycles,
+        "init_kernel": result.init_kernel,
+        "compute_kernel": result.compute_kernel,
+        "swap_ins": result.swap_ins,
+        "swap_outs": result.swap_outs,
+        "footprint_bytes": result.footprint_bytes,
+        "huge_bytes": result.huge_bytes,
+        "huge_fraction_per_array": result.huge_fraction_per_array,
+        "manager_promotions": result.manager_promotions,
+        "manager_demotions": result.manager_demotions,
+        "attempts": result.attempts,
+        "retry_cycles": result.retry_cycles,
+        "context": result.context,
+    }
+
+
+def decode_result(payload: dict[str, Any]) -> Any:
+    """Rebuild the cell result :func:`encode_result` serialized.
+
+    Raises:
+        JournalError: if the payload's ``kind`` is unknown (a journal
+            from a newer/older schema).
+    """
+    from ..experiments.harness import CellFailure
+    from ..machine.metrics import RunMetrics
+    from ..tlb.hierarchy import TranslationStats
+
+    kind = payload.get("kind")
+    if kind == "failure":
+        site = payload.get("site")
+        return CellFailure(
+            workload=payload["workload"],
+            dataset=payload["dataset"],
+            policy=payload["policy"],
+            scenario=payload["scenario"],
+            error=payload["error"],
+            message=payload["message"],
+            attempts=payload.get("attempts", 1),
+            site=SITES_BY_NAME.get(site) if site is not None else None,
+            fault_hit=payload.get("fault_hit"),
+        )
+    if kind != "metrics":
+        raise JournalError(f"unknown journal payload kind {kind!r}")
+    translation = TranslationStats(
+        accesses=np.asarray(payload["translation"]["accesses"], dtype=np.int64),
+        l1_misses=np.asarray(
+            payload["translation"]["l1_misses"], dtype=np.int64
+        ),
+        walks=np.asarray(payload["translation"]["walks"], dtype=np.int64),
+    )
+    return RunMetrics(
+        workload=payload["workload"],
+        policy_label=payload["policy_label"],
+        dataset=payload["dataset"],
+        translation=translation,
+        array_names={
+            int(array_id): name
+            for array_id, name in payload["array_names"].items()
+        },
+        compute_cycles=payload["compute_cycles"],
+        init_cycles=payload["init_cycles"],
+        preprocess_cycles=payload["preprocess_cycles"],
+        init_kernel=payload["init_kernel"],
+        compute_kernel=payload["compute_kernel"],
+        swap_ins=payload["swap_ins"],
+        swap_outs=payload["swap_outs"],
+        footprint_bytes=payload["footprint_bytes"],
+        huge_bytes=payload["huge_bytes"],
+        huge_fraction_per_array=payload["huge_fraction_per_array"],
+        manager_promotions=payload["manager_promotions"],
+        manager_demotions=payload["manager_demotions"],
+        attempts=payload.get("attempts", 1),
+        retry_cycles=payload.get("retry_cycles", 0),
+        context=payload.get("context", {}),
+    )

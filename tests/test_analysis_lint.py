@@ -322,6 +322,49 @@ class TestRep006:
 
 
 # ----------------------------------------------------------------------
+# REP007 — durable-write discipline
+# ----------------------------------------------------------------------
+
+
+class TestRep007:
+    def test_open_write_on_journal_path(self):
+        src = "handle = open(journal_path, 'w')\n"
+        assert rules_of(src) == ["REP007"]
+
+    def test_open_append_on_journal_path(self):
+        src = "handle = open(self.journal, mode='a')\n"
+        assert rules_of(src) == ["REP007"]
+
+    def test_open_read_passes(self):
+        src = "handle = open(journal_path, 'r')\n"
+        assert rules_of(src) == []
+
+    def test_open_write_on_unrelated_path_passes(self):
+        src = "handle = open(trace_path, 'w')\n"
+        assert rules_of(src) == []
+
+    def test_json_dump_on_results(self):
+        src = "import json\njson.dump(rows, results_file)\n"
+        assert rules_of(src) == ["REP007"]
+
+    def test_write_text_on_results_path(self):
+        src = "(out_dir / f'{result.figure_id}.txt').write_text(text)\n"
+        assert rules_of(src) == ["REP007"]
+
+    def test_write_text_on_unrelated_path_passes(self):
+        src = "(out_dir / 'notes.txt').write_text(text)\n"
+        assert rules_of(src) == []
+
+    def test_runstate_package_exempt(self):
+        src = "handle = open(journal_path, 'w')\n"
+        assert lint_text(src, "repro/runstate/atomic.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "h = open(journal_path, 'w')  # repro: noqa REP007\n"
+        assert rules_of(src) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions, driver, CLI
 # ----------------------------------------------------------------------
 
@@ -357,7 +400,7 @@ class TestDriver:
 
     def test_rule_catalogue_complete(self):
         assert ALL_RULES == tuple(sorted(RULE_SUMMARIES))
-        assert len(ALL_RULES) == 6
+        assert len(ALL_RULES) == 7
 
     def test_syntax_error_reported_not_fatal(self, tmp_path):
         (tmp_path / "bad.py").write_text("def broken(:\n")

@@ -176,9 +176,22 @@ class TestCellFailureAbsorption:
         assert (failure / 3) is failure
         assert (2.0 * failure) is failure
         assert round(failure, 3) is failure
-        assert not failure < 1 and not failure > 1
-        assert max(1, failure) == 1
+        # Failures rank after every number: sorted() pushes them last.
+        assert failure > 1 and not failure < 1
+        assert failure >= 10**12 and not failure <= -(10**12)
+        assert sorted([failure, 2.0, 1.0])[-1] is failure
         assert list(failure) == []
+
+    def test_failures_sort_last_and_deterministically(self):
+        a = self.make_failure()
+        b = CellFailure(
+            workload="sssp", dataset="web-l", policy="thp",
+            scenario="fresh", error="OutOfMemoryError", message="oom",
+        )
+        # Among failures: stable cell-coordinate ordering, both ways.
+        assert (a < b) == (b > a) and (a < b) != (a > b)
+        assert sorted([b, 3.5, a, 1.0])[:2] == [1.0, 3.5]
+        assert sorted([b, 3.5, a, 1.0])[2:] == sorted([a, b], key=lambda f: f._order_key())
 
     def test_renders_as_failed_marker(self):
         assert str(self.make_failure()) == "FAILED(InjectedFaultError)"

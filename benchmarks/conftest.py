@@ -18,6 +18,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -26,8 +27,34 @@ import pytest
 from repro.experiments.figures import ALL_WORKLOADS, FigureResult
 from repro.experiments.harness import ExperimentRunner
 from repro.graph.datasets import EVALUATION_DATASETS
+from repro.runstate.atomic import atomic_write_text
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_SWEEP_PATH = pathlib.Path(__file__).resolve().parents[1] / (
+    "BENCH_sweep.json"
+)
+
+
+def record_sweep_entry(name: str, payload: dict) -> None:
+    """Merge one benchmark's entry into ``BENCH_sweep.json`` at the repo
+    root (read-modify-write keyed by bench name, atomic replace)."""
+    data: dict = {}
+    if BENCH_SWEEP_PATH.exists():
+        try:
+            data = json.loads(BENCH_SWEEP_PATH.read_text())
+        except ValueError:
+            data = {}
+    data[name] = payload
+    atomic_write_text(
+        str(BENCH_SWEEP_PATH),
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+    )
+
+
+@pytest.fixture
+def sweep_record():
+    """Persist a sweep-timing entry under the calling bench's name."""
+    return record_sweep_entry
 
 
 def _env_list(name: str, default: tuple[str, ...]) -> tuple[str, ...]:

@@ -32,6 +32,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -151,6 +152,7 @@ def _make_runner(args: argparse.Namespace):
         resume=getattr(args, "resume", False),
         cell_cycles=getattr(args, "cell_cycles", None),
         cell_deadline_seconds=getattr(args, "cell_deadline", None),
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -200,6 +202,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also save <figure_id>.txt and .json under DIR "
         "(atomic write: never leaves torn files)",
+    )
+    figure.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "1")),
+        metavar="N",
+        help="process fan-out for the figure's cell sweep: 1 = serial "
+        "(default), N > 1 = work-stealing pool of N workers, 0 = one "
+        "per CPU; output and journal bytes are identical to a serial "
+        "run (env default: REPRO_WORKERS; see docs/performance.md)",
     )
     _add_common_machine_args(figure)
     _add_resilience_args(figure)

@@ -14,8 +14,9 @@ baseline is unaffected by pressure/fragmentation, which
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..workloads.base import ARRAY_NAMES
 from .harness import CellFailure, ExperimentRunner
@@ -119,11 +120,76 @@ def _cells(
             yield workload, dataset
 
 
+class _PlanningRunner:
+    """Shim runner for the parallel prefetch planning pass.
+
+    Figure functions enumerate their cells implicitly, through inline
+    ``run_cell`` calls.  To batch those cells onto the process pool
+    without duplicating each figure's enumeration logic, the decorated
+    figure body runs once against this shim: every ``run_cell`` call is
+    *recorded* (in exact body order, which is what makes the parallel
+    journal byte-identical to a serial one) and answered with an
+    absorbing :class:`~repro.experiments.harness.CellFailure` dummy, so
+    the body's derived arithmetic degrades instead of crashing.  All
+    other attributes delegate to the real runner; nothing is simulated,
+    cached, journaled or recorded as a failure.
+    """
+
+    def __init__(self, runner: ExperimentRunner) -> None:
+        self._runner = runner
+        self.cells: list[tuple] = []
+
+    def __getattr__(self, name: str):
+        return getattr(self._runner, name)
+
+    def run_cell(self, workload, dataset, policy, scenario) -> CellFailure:
+        self.cells.append((workload, dataset, policy, scenario))
+        return CellFailure(
+            workload=workload,
+            dataset=dataset,
+            policy=policy.name,
+            scenario=scenario.name,
+            error="planning",
+            message="parallel prefetch planning pass",
+        )
+
+
+def _parallel_figure(func: Callable) -> Callable:
+    """Give a figure function a parallel fast path.
+
+    With ``runner.workers`` at the default ``1`` this is a no-op.  With
+    fan-out enabled, the figure body first runs against a
+    :class:`_PlanningRunner` to discover its cells, the batch executes
+    on the process pool via :meth:`~repro.experiments.harness
+    .ExperimentRunner.run_cells` (which owns dedupe, journal order and
+    the deterministic merge), and the body then re-runs for real with
+    every cell already cached.  A planning-pass surprise degrades to
+    plain serial execution — parallelism is an accelerator, never a
+    correctness dependency.
+    """
+
+    @functools.wraps(func)
+    def wrapper(runner: ExperimentRunner, *args, **kwargs):
+        if getattr(runner, "workers", 1) != 1:
+            planner = _PlanningRunner(runner)
+            try:
+                func(planner, *args, **kwargs)
+                cells = planner.cells
+            except Exception:
+                cells = []
+            if cells:
+                runner.run_cells(cells)
+        return func(runner, *args, **kwargs)
+
+    return wrapper
+
+
 # ---------------------------------------------------------------------------
 # Introduction characterization
 # ---------------------------------------------------------------------------
 
 
+@_parallel_figure
 def fig01_thp_speedup(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -155,6 +221,7 @@ def fig01_thp_speedup(
     return result
 
 
+@_parallel_figure
 def fig02_translation_overhead(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -182,6 +249,7 @@ def fig02_translation_overhead(
     return result
 
 
+@_parallel_figure
 def fig03_tlb_miss_rates(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -217,6 +285,7 @@ def fig03_tlb_miss_rates(
 # ---------------------------------------------------------------------------
 
 
+@_parallel_figure
 def fig04_access_breakdown(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -250,6 +319,7 @@ def fig04_access_breakdown(
     return result
 
 
+@_parallel_figure
 def fig05_data_structure_thp(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -324,6 +394,7 @@ def table2_datasets(
 # ---------------------------------------------------------------------------
 
 
+@_parallel_figure
 def fig07_pressure_alloc_order(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -366,6 +437,7 @@ def fig07_pressure_alloc_order(
     return result
 
 
+@_parallel_figure
 def fig07b_pressure_sweep(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -409,6 +481,7 @@ def fig07b_pressure_sweep(
     return result
 
 
+@_parallel_figure
 def page_cache_interference(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -473,6 +546,7 @@ def page_cache_interference(
 # ---------------------------------------------------------------------------
 
 
+@_parallel_figure
 def fig08_fragmentation(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -516,6 +590,7 @@ def fig08_fragmentation(
     return result
 
 
+@_parallel_figure
 def fig09_frag_sweep(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -567,6 +642,7 @@ def fig09_frag_sweep(
 # ---------------------------------------------------------------------------
 
 
+@_parallel_figure
 def fig10_selective_thp(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -602,6 +678,7 @@ def fig10_selective_thp(
     return result
 
 
+@_parallel_figure
 def fig11_selectivity_sweep(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -640,6 +717,7 @@ def fig11_selectivity_sweep(
     return result
 
 
+@_parallel_figure
 def dbg_overhead(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -679,6 +757,7 @@ def recommended_reorder(runner: ExperimentRunner, dataset: str) -> str:
     return report.plan.reorder
 
 
+@_parallel_figure
 def headline_summary(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ALL_WORKLOADS,
@@ -736,6 +815,7 @@ def headline_summary(
 # ---------------------------------------------------------------------------
 
 
+@_parallel_figure
 def ablation_alloc_order_census(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -766,6 +846,7 @@ def ablation_alloc_order_census(
     return result
 
 
+@_parallel_figure
 def ablation_promotion_path(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),
@@ -825,6 +906,7 @@ def ablation_promotion_path(
     return result
 
 
+@_parallel_figure
 def ablation_reorder(
     runner: ExperimentRunner,
     workloads: Sequence[str] = ("bfs",),

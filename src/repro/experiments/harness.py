@@ -46,7 +46,7 @@ runaway cells as ``FAILED(watchdog)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Any, Optional, Sequence, Union
 
 from ..config import MachineConfig, scaled
 from ..errors import (
@@ -248,6 +248,12 @@ class ExperimentRunner:
             (deterministic — participates in cell identity).
         cell_deadline_seconds: per-cell wall-clock watchdog deadline
             (nondeterministic by design — excluded from cell identity).
+        workers: process fan-out for :meth:`run_cells` batches.  ``1``
+            (the default) is the serial path, bit-for-bit identical to
+            historical behavior; ``N > 1`` executes batched cells on a
+            work-stealing process pool with a deterministic merge (see
+            :mod:`repro.parallel` and docs/performance.md).  ``0``
+            means "one worker per CPU".
     """
 
     config: MachineConfig = field(default_factory=scaled)
@@ -261,11 +267,13 @@ class ExperimentRunner:
     resume: bool = False
     cell_cycles: Optional[int] = None
     cell_deadline_seconds: Optional[float] = None
+    workers: int = 1
     failures: list[CellFailure] = field(default_factory=list)
     _cache: dict[tuple, CellResult] = field(default_factory=dict)
     _graph_cache: dict[tuple[str, str, bool], tuple[CsrGraph, int]] = field(
         default_factory=dict
     )
+    _perm_cache: dict[tuple[str, str], Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
@@ -292,8 +300,139 @@ class ExperimentRunner:
             ExperimentError: on configuration mistakes (always), or any
                 simulation failure when ``capture_failures`` is False.
         """
-        plan = self.effective_fault_plan
-        key = (
+        key = self._cell_key(workload_name, dataset_name, policy, scenario)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        spec = None
+        cell_coords = None
+        if self.journal is not None:
+            spec = self.cell_spec(workload_name, dataset_name, policy, scenario)
+            cell_coords = self._cell_coords(
+                workload_name, dataset_name, policy, scenario
+            )
+            if self.resume:
+                recorded = self.journal.result(spec)
+                if recorded is not None:
+                    self._cache[key] = recorded
+                    return recorded
+            self.journal.begin(spec, cell_coords)
+
+        result = self._execute_cell(workload_name, dataset_name, policy, scenario)
+
+        if self.journal is not None:
+            # Journal append failures propagate: a sweep whose journal
+            # cannot be written must crash (and later resume), not
+            # silently continue unjournaled.
+            self.journal.record_result(spec, cell_coords, result)
+        self._cache[key] = result
+        return result
+
+    def run_cells(
+        self, cells: Sequence[tuple[str, str, Policy, Scenario]]
+    ) -> list[CellResult]:
+        """Run a batch of cells, returning results aligned with ``cells``.
+
+        With ``workers <= 1`` this is exactly ``[run_cell(*c) for c in
+        cells]`` — the bit-for-bit serial path.  With ``workers > 1``
+        the not-yet-known cells are executed on a work-stealing process
+        pool and merged deterministically: the parent stays the single
+        owner of the cell cache and the journal, and journal records,
+        failure-list entries and cached results are committed in *spec
+        order* (the order of ``cells``), never completion order — so
+        journal bytes and figure output are identical to a serial run.
+
+        Strict mode (``capture_failures=False``) falls back to the
+        serial path: it exists to surface the original exception object
+        at the failing cell, which a process boundary cannot preserve.
+        """
+        cells = list(cells)
+        workers = self.workers
+        if workers != 1 and len(cells) > 1 and self.capture_failures:
+            from ..parallel.pool import resolve_workers
+
+            workers = resolve_workers(workers)
+        if workers <= 1 or len(cells) <= 1 or not self.capture_failures:
+            return [self.run_cell(*cell) for cell in cells]
+        return self._run_cells_parallel(cells)
+
+    def _run_cells_parallel(
+        self, cells: list[tuple[str, str, Policy, Scenario]]
+    ) -> list[CellResult]:
+        from ..parallel.pool import execute_cells, resolve_workers
+
+        results: list[Optional[CellResult]] = [None] * len(cells)
+        keys = [self._cell_key(*cell) for cell in cells]
+        dispatch: list[int] = []
+        dispatched_keys: set = set()
+        for i, cell in enumerate(cells):
+            key = keys[i]
+            if key in dispatched_keys:
+                continue  # duplicate of a dispatched cell; merged below
+            cached = self._cache.get(key)
+            if cached is not None:
+                results[i] = cached
+                continue
+            if self.journal is not None and self.resume:
+                recorded = self.journal.result(self.cell_spec(*cell))
+                if recorded is not None:
+                    # Resume hit: cached without journal writes, exactly
+                    # like the serial path — never dispatched.
+                    self._cache[key] = recorded
+                    results[i] = recorded
+                    continue
+            dispatched_keys.add(key)
+            dispatch.append(i)
+
+        executed: dict[int, CellResult] = {}
+        if dispatch:
+            # Graph preparation happens once, in the parent: workers
+            # inherit (fork) or receive (spawn) the prepared cache and
+            # never duplicate load/reorder work.
+            for i in dispatch:
+                workload_name, dataset_name, policy, _scenario = cells[i]
+                self._prepared_graph(
+                    dataset_name, policy.plan.reorder,
+                    weighted=workload_needs_weights(workload_name),
+                )
+            outcomes = execute_cells(
+                self, [cells[i] for i in dispatch],
+                resolve_workers(self.workers),
+            )
+            executed = dict(zip(dispatch, outcomes))
+
+        # Deterministic merge, in spec order: journal begin/result pairs,
+        # failure-list entries and cache insertions replay exactly the
+        # sequence a serial run would have produced.
+        for i, cell in enumerate(cells):
+            if i in executed:
+                result = executed[i]
+                if self.journal is not None:
+                    spec = self.cell_spec(*cell)
+                    coords = self._cell_coords(*cell)
+                    self.journal.begin(spec, coords)
+                    self.journal.record_result(spec, coords, result)
+                if isinstance(result, CellFailure):
+                    self.failures.append(result)
+                self._cache[keys[i]] = result
+                results[i] = result
+            elif results[i] is None:
+                # Duplicate of a dispatched cell: its first occurrence
+                # (earlier in spec order) has already filled the cache.
+                results[i] = self._cache[keys[i]]
+        return results  # type: ignore[return-value]
+
+    def _cell_key(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+    ) -> tuple:
+        """The in-memory cache identity of one cell (everything that can
+        change its simulated outcome)."""
+        return (
             workload_name,
             dataset_name,
             policy.name,
@@ -304,32 +443,37 @@ class ExperimentRunner:
             scenario,
             self.pagerank_iterations,
             self.config.name,
-            plan,
+            self.effective_fault_plan,
             self.max_retries,
             self.cell_budget,
             self.cell_cycles,
         )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
 
-        spec = None
-        cell_coords = None
-        if self.journal is not None:
-            spec = self.cell_spec(workload_name, dataset_name, policy, scenario)
-            cell_coords = {
-                "workload": workload_name,
-                "dataset": dataset_name,
-                "policy": policy.name,
-                "scenario": scenario.name,
-            }
-            if self.resume:
-                recorded = self.journal.result(spec)
-                if recorded is not None:
-                    self._cache[key] = recorded
-                    return recorded
-            self.journal.begin(spec, cell_coords)
+    @staticmethod
+    def _cell_coords(
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+    ) -> dict[str, str]:
+        return {
+            "workload": workload_name,
+            "dataset": dataset_name,
+            "policy": policy.name,
+            "scenario": scenario.name,
+        }
 
+    def _execute_cell(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        policy: Policy,
+        scenario: Scenario,
+    ) -> CellResult:
+        """Simulate one cell (retries, fault injection, capture) without
+        touching the cache or the journal — the part of :meth:`run_cell`
+        that is safe to run in a worker process."""
+        plan = self.effective_fault_plan
         graph, preprocess_accesses = self._prepared_graph(
             dataset_name, policy.plan.reorder,
             weighted=workload_needs_weights(workload_name),
@@ -387,13 +531,6 @@ class ExperimentRunner:
                 )
                 result = metrics
             break
-
-        if self.journal is not None:
-            # Journal append failures propagate: a sweep whose journal
-            # cannot be written must crash (and later resume), not
-            # silently continue unjournaled.
-            self.journal.record_result(spec, cell_coords, result)
-        self._cache[key] = result
         return result
 
     def cell_spec(
@@ -500,6 +637,24 @@ class ExperimentRunner:
         if reorder == "original":
             result = (graph, 0)
         else:
+            perm = self._reorder_permutation(dataset_name, reorder, graph)
+            accesses = DBG_COST.accesses(
+                graph.num_vertices, graph.num_edges
+            )
+            result = (graph.relabel(perm), accesses)
+        self._graph_cache[key] = result
+        return result
+
+    def _reorder_permutation(
+        self, dataset_name: str, reorder: str, graph: CsrGraph
+    ) -> Any:
+        """The reorder permutation for ``(dataset, reorder)``, computed
+        once and shared across the weighted and unweighted graph
+        variants: every ordering depends only on the graph *structure*
+        (degrees, adjacency), which edge weights do not change."""
+        key = (dataset_name, reorder)
+        perm = self._perm_cache.get(key)
+        if perm is None:
             try:
                 ordering = ORDERINGS[reorder]
             except KeyError:
@@ -507,12 +662,8 @@ class ExperimentRunner:
                     f"unknown reordering {reorder!r}"
                 ) from None
             perm = ordering(graph)
-            accesses = DBG_COST.accesses(
-                graph.num_vertices, graph.num_edges
-            )
-            result = (graph.relabel(perm), accesses)
-        self._graph_cache[key] = result
-        return result
+            self._perm_cache[key] = perm
+        return perm
 
     def _make_workload(self, workload_name: str, graph: CsrGraph):
         kwargs = {}
@@ -591,4 +742,5 @@ class ExperimentRunner:
         valid — and resumable — across any number of cache clears."""
         self._cache.clear()
         self._graph_cache.clear()
+        self._perm_cache.clear()
         self.failures.clear()

@@ -79,8 +79,7 @@ class TranslationStats:
         """Cycles spent on address translation under ``cost``."""
         l2_hits = self.total_l1_misses - self.total_walks
         return int(
-            self.total_l1_misses * 0  # L1 miss detection folded into below
-            + l2_hits * cost.l2_tlb_hit
+            l2_hits * cost.l2_tlb_hit
             + self.total_walks * cost.page_walk
             + (self.total_accesses - self.total_l1_misses) * cost.l1_tlb_hit
         )
@@ -142,58 +141,71 @@ class TranslationHierarchy:
         A run of length ``c`` on one page costs one real lookup; the
         remaining ``c - 1`` accesses are guaranteed L1 hits (the entry was
         just installed or refreshed), so only counts are updated for them.
+        Access attribution is vectorized over the full run arrays; the
+        lookup loop walks the coalesced view (adjacent same-key runs are
+        a single lookup — see :meth:`TlbTrace.lookup_view`).
         """
+        if trace.counts.size:
+            np.add.at(stats.accesses, trace.array_ids, trace.counts)
+        lookup_keys, lookup_array_ids = trace.lookup_view()
+
         l1b_sets = self.l1_base.sets
         l1b_mask = self.l1_base.set_mask
         l1b_ways = self.l1_base.geometry.ways
+        l1b_res = self.l1_base.resident
         l1h_sets = self.l1_huge.sets
         l1h_mask = self.l1_huge.set_mask
         l1h_ways = self.l1_huge.geometry.ways
+        l1h_res = self.l1_huge.resident
         l2_sets = self.l2.sets
         l2_mask = self.l2.set_mask
         l2_ways = self.l2.geometry.ways
+        l2_res = self.l2.resident
 
-        acc = stats.accesses
-        l1m = stats.l1_misses
-        wlk = stats.walks
         # Accumulate into plain int lists inside the loop; fold into the
-        # numpy counters once at the end.
-        acc_l = [0] * MAX_ARRAY_IDS
+        # numpy counters once at the end.  Hits test the O(1) resident
+        # view and pay at most one list scan (the LRU reorder, skipped
+        # when the entry is already MRU); misses scan nothing.
         l1m_l = [0] * MAX_ARRAY_IDS
         wlk_l = [0] * MAX_ARRAY_IDS
 
-        keys = trace.keys.tolist()
-        counts = trace.counts.tolist()
-        array_ids = trace.array_ids.tolist()
-
-        for k, c, a in zip(keys, counts, array_ids):
-            acc_l[a] += c
+        for k, a in zip(lookup_keys.tolist(), lookup_array_ids.tolist()):
             if k & 1:
+                if k in l1h_res:
+                    entries = l1h_sets[(k >> 1) & l1h_mask]
+                    if entries[0] != k:
+                        entries.remove(k)
+                        entries.insert(0, k)
+                    continue
+                res = l1h_res
                 entries = l1h_sets[(k >> 1) & l1h_mask]
                 ways = l1h_ways
             else:
+                if k in l1b_res:
+                    entries = l1b_sets[(k >> 1) & l1b_mask]
+                    if entries[0] != k:
+                        entries.remove(k)
+                        entries.insert(0, k)
+                    continue
+                res = l1b_res
                 entries = l1b_sets[(k >> 1) & l1b_mask]
                 ways = l1b_ways
-            if k in entries:
-                if entries[0] != k:
-                    entries.remove(k)
-                    entries.insert(0, k)
-                continue
             l1m_l[a] += 1
+            res.add(k)
             entries.insert(0, k)
             if len(entries) > ways:
-                entries.pop()
+                res.discard(entries.pop())
             entries2 = l2_sets[(k >> 1) & l2_mask]
-            if k in entries2:
+            if k in l2_res:
                 if entries2[0] != k:
                     entries2.remove(k)
                     entries2.insert(0, k)
                 continue
             wlk_l[a] += 1
+            l2_res.add(k)
             entries2.insert(0, k)
             if len(entries2) > l2_ways:
-                entries2.pop()
+                l2_res.discard(entries2.pop())
 
-        acc += np.asarray(acc_l, dtype=np.int64)
-        l1m += np.asarray(l1m_l, dtype=np.int64)
-        wlk += np.asarray(wlk_l, dtype=np.int64)
+        stats.l1_misses += np.asarray(l1m_l, dtype=np.int64)
+        stats.walks += np.asarray(wlk_l, dtype=np.int64)

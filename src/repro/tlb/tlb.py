@@ -23,6 +23,12 @@ class SetAssociativeTlb:
         self.geometry = geometry
         self.set_mask = geometry.sets - 1
         self.sets: list[list[int]] = [[] for _ in range(geometry.sets)]
+        # Hash view of every key currently cached, kept in sync by all
+        # mutators.  Membership tests are O(1) instead of a set-list
+        # scan, so a hit needs exactly one list scan (the LRU reorder)
+        # and a miss needs none — the batch loop in
+        # :mod:`repro.tlb.hierarchy` leans on this.
+        self.resident: set[int] = set()
         self.hits = 0
         self.misses = 0
 
@@ -38,36 +44,42 @@ class SetAssociativeTlb:
         insert at MRU and evict the LRU entry if the set is full.
         """
         entries = self.sets[(key >> 1) & self.set_mask]
-        if key in entries:
-            entries.remove(key)
-            entries.insert(0, key)
+        if key in self.resident:
+            if entries[0] != key:
+                entries.remove(key)
+                entries.insert(0, key)
             self.hits += 1
             return True
+        self.resident.add(key)
         entries.insert(0, key)
         if len(entries) > self.geometry.ways:
-            entries.pop()
+            self.resident.discard(entries.pop())
         self.misses += 1
         return False
 
     def probe(self, key: int) -> bool:
         """Check presence without updating LRU state or counters."""
-        return key in self.sets[(key >> 1) & self.set_mask]
+        return key in self.resident
 
     def insert(self, key: int) -> int | None:
         """Insert ``key`` at MRU; returns the evicted key, if any."""
         entries = self.sets[(key >> 1) & self.set_mask]
-        if key in entries:
+        if key in self.resident:
             entries.remove(key)
+        else:
+            self.resident.add(key)
         entries.insert(0, key)
         if len(entries) > self.geometry.ways:
-            return entries.pop()
+            evicted = entries.pop()
+            self.resident.discard(evicted)
+            return evicted
         return None
 
     def invalidate(self, key: int) -> bool:
         """Remove ``key`` (TLB shootdown for one page); True if present."""
-        entries = self.sets[(key >> 1) & self.set_mask]
-        if key in entries:
-            entries.remove(key)
+        if key in self.resident:
+            self.resident.discard(key)
+            self.sets[(key >> 1) & self.set_mask].remove(key)
             return True
         return False
 
@@ -75,6 +87,7 @@ class SetAssociativeTlb:
         """Invalidate every entry (full shootdown)."""
         for entries in self.sets:
             entries.clear()
+        self.resident.clear()
 
     @property
     def occupancy(self) -> int:

@@ -105,3 +105,49 @@ class TestCompression:
         aids = np.zeros(512, dtype=np.uint8)
         trace = compress_trace(keys.astype(np.int64), aids)
         assert len(trace) > 450  # nearly incompressible
+
+
+class TestLookupView:
+    """Lookup coalescing: adjacent same-key runs (possible when arrays
+    share a page under huge mappings) collapse to one TLB lookup led by
+    the first run's array."""
+
+    def test_coalesces_adjacent_same_key_runs(self):
+        keys = np.array([4, 4, 4, 6], dtype=np.int64)
+        aids = np.array([0, 1, 1, 0], dtype=np.uint8)
+        trace = compress_trace(keys, aids)
+        assert len(trace) == 3  # runs: (4,a0) (4,a1) (6,a0)
+        lookup_keys, lookup_aids = trace.lookup_view()
+        assert lookup_keys.tolist() == [4, 6]
+        assert lookup_aids.tolist() == [0, 0]
+
+    def test_all_distinct_keys_share_run_arrays(self):
+        keys = np.array([2, 4, 6], dtype=np.int64)
+        trace = compress_trace(keys, np.zeros(3, dtype=np.uint8))
+        lookup_keys, lookup_aids = trace.lookup_view()
+        assert lookup_keys is trace.keys
+        assert lookup_aids is trace.array_ids
+
+    def test_empty(self):
+        trace = compress_trace(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8)
+        )
+        lookup_keys, lookup_aids = trace.lookup_view()
+        assert lookup_keys.size == 0
+        assert lookup_aids.size == 0
+
+    def test_view_is_cached(self):
+        keys = np.array([4, 4, 6], dtype=np.int64)
+        aids = np.array([0, 1, 0], dtype=np.uint8)
+        trace = compress_trace(keys, aids)
+        first = trace.lookup_view()
+        second = trace.lookup_view()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_access_counts_unaffected_by_coalescing(self):
+        keys = np.array([4, 4, 4, 6], dtype=np.int64)
+        aids = np.array([0, 1, 1, 0], dtype=np.uint8)
+        trace = compress_trace(keys, aids)
+        assert trace.total_accesses == 4
+        assert trace.counts.sum() == 4

@@ -17,11 +17,16 @@ Run:  python examples/custom_graph_advisor.py
 import os
 import tempfile
 
-from repro import Machine, PageSizeAdvisor, ThpPolicy
-from repro.graph.generators import power_law_graph
-from repro.graph.io import load_edge_list, save_edge_list
-from repro.graph.reorder import ORDERINGS
-from repro.workloads.bfs import Bfs
+from repro.api import (
+    Bfs,
+    Machine,
+    ORDERINGS,
+    PageSizeAdvisor,
+    ThpPolicy,
+    load_edge_list,
+    power_law_graph,
+    save_edge_list,
+)
 
 
 def build_inputs():

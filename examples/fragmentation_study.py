@@ -13,8 +13,8 @@ Run:  python examples/fragmentation_study.py [dataset]
 
 import sys
 
-from repro.experiments import ExperimentRunner
-from repro.experiments.figures import (
+from repro.api import (
+    ExperimentRunner,
     ablation_alloc_order_census,
     fig09_frag_sweep,
 )

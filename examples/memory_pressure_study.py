@@ -15,8 +15,7 @@ Run:  python examples/memory_pressure_study.py [dataset]
 
 import sys
 
-from repro.experiments import ExperimentRunner, format_table
-from repro.experiments.figures import fig07b_pressure_sweep
+from repro.api import ExperimentRunner, fig07b_pressure_sweep, format_table
 
 
 def main() -> None:

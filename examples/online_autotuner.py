@@ -20,14 +20,14 @@ Run:  python examples/online_autotuner.py [dataset]
 
 import sys
 
-from repro.experiments.figures import recommended_reorder
-from repro.experiments.harness import ExperimentRunner
-from repro.experiments.policies import (
+from repro.api import (
+    ExperimentRunner,
     POLICIES,
     autotuner_policy,
+    fragmented,
+    recommended_reorder,
     selective_policy,
 )
-from repro.experiments.scenarios import fragmented
 
 
 def main() -> None:

@@ -10,8 +10,13 @@ speedup.
 Run:  python examples/quickstart.py
 """
 
-from repro import Machine, ThpPolicy, create_workload, load_dataset
-from repro.units import format_bytes
+from repro.api import (
+    Machine,
+    ThpPolicy,
+    create_workload,
+    format_bytes,
+    load_dataset,
+)
 
 
 def run_once(thp: ThpPolicy, label: str, graph):

@@ -17,11 +17,18 @@ Run:  python examples/selective_thp_pipeline.py [dataset]
 
 import sys
 
-from repro import Machine, PageSizeAdvisor, ThpPolicy, load_dataset
-from repro.core.plan import PlacementPlan
-from repro.experiments.harness import ExperimentRunner
-from repro.experiments.policies import POLICIES, Policy
-from repro.experiments.scenarios import fragmented, fresh
+from repro.api import (
+    ExperimentRunner,
+    Machine,
+    POLICIES,
+    PageSizeAdvisor,
+    PlacementPlan,
+    Policy,
+    ThpPolicy,
+    fragmented,
+    fresh,
+    load_dataset,
+)
 
 
 def main() -> None:

@@ -20,8 +20,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Repo-specific static analysis: determinism (REP001/REP002), "
             "unit safety (REP003), fault-site completeness (REP004), "
-            "ledger hygiene (REP005), export hygiene (REP006) and "
-            "durable-write discipline (REP007)."
+            "ledger hygiene (REP005), export hygiene (REP006), "
+            "durable-write discipline (REP007) and tracer emission "
+            "discipline (REP008)."
         ),
     )
     parser.add_argument(

@@ -70,6 +70,11 @@ RULE_SUMMARIES: dict[str, str] = {
         "append_durable_line), never via direct open('w')/json.dump/"
         "write_text"
     ),
+    "REP008": (
+        "tracer emission discipline: every obs .emit() site binds the "
+        "tracer to a local and sits inside an 'is not None' guard, so "
+        "tracing is zero-cost when off"
+    ),
 }
 """One-line summary per rule, used by ``--list-rules`` and the docs."""
 

@@ -884,6 +884,89 @@ def check_rep007(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+# ----------------------------------------------------------------------
+# REP008 — tracer emission sites must be guarded
+# ----------------------------------------------------------------------
+
+OBS_PATH_FRAGMENT = "obs/"
+"""The tracer's own package — exempt from REP008 (it defines ``emit``)."""
+
+
+def _tracer_guards(test: ast.AST, ctx: ModuleContext) -> set[str]:
+    """Dotted refs an ``if`` test proves non-None (``x is not None``,
+    possibly inside an ``and`` chain)."""
+    guards: set[str] = set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for value in test.values:
+            guards |= _tracer_guards(value, ctx)
+        return guards
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        ref = ctx.qualify(test.left)
+        if ref is not None:
+            guards.add(ref)
+    return guards
+
+
+def _is_tracer_ref(ref: str) -> bool:
+    """True when a dotted ref's terminal name looks like a tracer."""
+    return "tracer" in ref.rsplit(".", 1)[-1].lower()
+
+
+def check_rep008(ctx: ModuleContext) -> list[Finding]:
+    """Flag tracer ``.emit()`` calls outside an ``is not None`` guard.
+
+    The observability layer's zero-cost-when-off contract (the MemSan
+    discipline, docs/observability.md) requires every emission site to
+    load the tracer once and test it::
+
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("thp.promotion", ...)
+
+    An unguarded ``self.tracer.emit(...)`` either crashes when tracing
+    is off (tracer is None) or — worse — hides an always-on event
+    construction on a hot path.
+    """
+    if OBS_PATH_FRAGMENT in ctx.relpath.replace("\\", "/"):
+        return []
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST, guarded: frozenset[str]) -> None:
+        if isinstance(node, ast.If):
+            visit(node.test, guarded)
+            inner = guarded | _tracer_guards(node.test, ctx)
+            for child in node.body:
+                visit(child, inner)
+            for child in node.orelse:
+                visit(child, guarded)
+            return
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr == "emit":
+            ref = ctx.qualify(node.func.value)
+            if ref is not None and _is_tracer_ref(ref) and ref not in guarded:
+                findings.append(
+                    _finding(
+                        ctx, node, "REP008",
+                        f"unguarded tracer emission {ref}.emit(...); bind "
+                        "the tracer to a local and wrap the emit in "
+                        "'if tracer is not None:' so tracing stays "
+                        "zero-cost when off",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    visit(ctx.tree, frozenset())
+    return findings
+
+
 PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -891,5 +974,6 @@ PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP005": check_rep005,
     "REP006": check_rep006,
     "REP007": check_rep007,
+    "REP008": check_rep008,
 }
 """Per-file rule registry; REP004 is project-wide (see ``project.py``)."""

@@ -121,39 +121,40 @@ def _add_runstate_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record structured observability events and write them as "
+        "JSONL to PATH (inspect with 'repro trace'; see "
+        "docs/observability.md)",
+    )
+
+
 def _make_runner(args: argparse.Namespace):
     from .analysis.sanitizer import set_sanitize
-    from .experiments.harness import ExperimentRunner
-    from .faults.spec import FaultPlan
-    from .runstate.journal import RunJournal
+    from .experiments import ExperimentRunner, RunConfig
 
-    if getattr(args, "sanitize", False):
+    run_config = RunConfig.from_cli(args)
+    if run_config.sanitize:
+        # Global switch too: spawn-mode pool workers and any library
+        # code that consults the ambient setting must agree.
         set_sanitize(True)
-    plan = None
-    if getattr(args, "faults", None):
-        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
-    journal = None
-    if getattr(args, "journal", None):
-        # The journal's own injector (for the journal.* crash-safety
-        # sites) counts appends sweep-wide, unlike the per-cell
-        # simulation injectors.
-        journal = RunJournal(
-            args.journal,
-            injector=plan.make_injector() if plan and plan.enabled else None,
-        )
-    elif getattr(args, "resume", False):
-        raise ReproError("--resume requires --journal PATH")
     return ExperimentRunner(
-        config=get_profile(args.profile),
-        fault_plan=plan,
-        max_retries=getattr(args, "retries", 2),
-        cell_budget=getattr(args, "cell_budget", None),
-        journal=journal,
-        resume=getattr(args, "resume", False),
-        cell_cycles=getattr(args, "cell_cycles", None),
-        cell_deadline_seconds=getattr(args, "cell_deadline", None),
-        workers=getattr(args, "workers", 1),
+        config=get_profile(args.profile), run_config=run_config
     )
+
+
+def _write_trace(args: argparse.Namespace, runner) -> None:
+    """Flush an armed runner's trace log to ``--trace PATH``."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return
+    from .obs import write_trace_jsonl
+
+    lines = write_trace_jsonl(path, runner.trace_log)
+    print(f"wrote {lines} trace event(s) to {path}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -183,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common_machine_args(run)
     _add_resilience_args(run)
     _add_runstate_args(run)
+    _add_trace_arg(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument(
@@ -216,6 +218,24 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common_machine_args(figure)
     _add_resilience_args(figure)
     _add_runstate_args(figure)
+    _add_trace_arg(figure)
+
+    trace = sub.add_parser(
+        "trace", help="inspect or convert a recorded trace"
+    )
+    trace.add_argument(
+        "action",
+        choices=("summary", "export"),
+        help="summary: per-cell event digest; export: convert to "
+        "Chrome trace_event JSON (open in Perfetto / about:tracing)",
+    )
+    trace.add_argument("tracefile", metavar="TRACE", help="trace JSONL file")
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="(export) output path (default: TRACE with .json suffix)",
+    )
 
     sub.add_parser("datasets", help="list datasets (Table 2)")
     sub.add_parser("policies", help="list named policies")
@@ -296,6 +316,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     policy = _parse_policy(args.policy)
     scenario = _parse_scenario(args.scenario)
     result = runner.run_cell(args.workload, args.dataset, policy, scenario)
+    _write_trace(args, runner)
     if isinstance(result, CellFailure):
         print(result.describe(), file=sys.stderr)
         return 1
@@ -309,36 +330,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    from .experiments import figures as figure_module
+    from .experiments.figures import FIGURES
 
-    functions = {
-        "fig01": figure_module.fig01_thp_speedup,
-        "fig02": figure_module.fig02_translation_overhead,
-        "fig03": figure_module.fig03_tlb_miss_rates,
-        "fig04": figure_module.fig04_access_breakdown,
-        "fig05": figure_module.fig05_data_structure_thp,
-        "table2": figure_module.table2_datasets,
-        "fig07": figure_module.fig07_pressure_alloc_order,
-        "fig07b": figure_module.fig07b_pressure_sweep,
-        "fig08": figure_module.fig08_fragmentation,
-        "fig09": figure_module.fig09_frag_sweep,
-        "fig10": figure_module.fig10_selective_thp,
-        "fig11": figure_module.fig11_selectivity_sweep,
-        "pagecache": figure_module.page_cache_interference,
-        "dbg-overhead": figure_module.dbg_overhead,
-        "headline": figure_module.headline_summary,
-        "abl-census": figure_module.ablation_alloc_order_census,
-        "abl-promotion": figure_module.ablation_promotion_path,
-        "abl-reorder": figure_module.ablation_reorder,
-    }
     if args.figure_id == "all":
-        selected = list(functions.values())
-    elif args.figure_id in functions:
-        selected = [functions[args.figure_id]]
+        selected = list(FIGURES.values())
+    elif args.figure_id in FIGURES:
+        selected = [FIGURES[args.figure_id]]
     else:
         raise ReproError(
             f"unknown figure {args.figure_id!r}; known: all, "
-            + ", ".join(sorted(functions))
+            + ", ".join(sorted(FIGURES))
         )
     runner = _make_runner(args)
     kwargs = {}
@@ -354,6 +355,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(f"saved {txt_path} and {json_path}", file=sys.stderr)
         if len(selected) > 1:
             print()
+    _write_trace(args, runner)
     if runner.failures:
         print(
             f"{len(runner.failures)} cell(s) failed (graceful degradation):",
@@ -473,9 +475,41 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        read_trace_jsonl,
+        summarize,
+        validate_trace_records,
+        write_chrome_trace,
+    )
+
+    records = read_trace_jsonl(args.tracefile)
+    problems = validate_trace_records(records)
+    if problems:
+        print(
+            f"warning: {len(problems)} schema problem(s); first: "
+            f"{problems[0]}",
+            file=sys.stderr,
+        )
+    if args.action == "summary":
+        print(summarize(records))
+        return 0
+    out = args.out
+    if out is None:
+        root, _, _ = args.tracefile.rpartition(".")
+        out = (root or args.tracefile) + ".json"
+    write_chrome_trace(out, records)
+    print(
+        f"wrote Chrome trace ({len(records)} event(s)) to {out}; open "
+        "in Perfetto (ui.perfetto.dev) or chrome://tracing"
+    )
+    return 0
+
+
 COMMANDS = {
     "run": _cmd_run,
     "figure": _cmd_figure,
+    "trace": _cmd_trace,
     "datasets": _cmd_datasets,
     "policies": _cmd_policies,
     "profiles": _cmd_profiles,
@@ -493,3 +527,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Reader went away mid-print (e.g. ``repro trace summary | head``).
+        # Detach stdout so the interpreter's shutdown flush cannot raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -7,21 +7,27 @@
 - :mod:`repro.experiments.harness` — :class:`ExperimentRunner`: runs one
   (workload, dataset, policy, scenario) cell on a freshly configured
   machine, with caching across figures.
+- :mod:`repro.experiments.runconfig` — :class:`RunConfig`: the runner's
+  validated, immutable execution policy (workers, journal, retries,
+  budgets, faults, tracing).
 - :mod:`repro.experiments.figures` — one function per paper table/figure.
 - :mod:`repro.experiments.reporting` — text-table rendering.
 """
 
 from .scenarios import Scenario, SCENARIOS
 from .policies import Policy, POLICIES, selective_policy
-from .harness import ExperimentRunner
+from .runconfig import RunConfig
+from .harness import ExperimentRunner, run_cells
 from .reporting import format_table
 
 __all__ = [
     "ExperimentRunner",
     "POLICIES",
     "Policy",
+    "RunConfig",
     "SCENARIOS",
     "Scenario",
     "format_table",
+    "run_cells",
     "selective_policy",
 ]

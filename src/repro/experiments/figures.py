@@ -930,3 +930,27 @@ def ablation_reorder(
             row[reorder] = run.speedup_over(base)
         result.rows.append(row)
     return result
+
+
+FIGURES: dict[str, Callable] = {
+    "fig01": fig01_thp_speedup,
+    "fig02": fig02_translation_overhead,
+    "fig03": fig03_tlb_miss_rates,
+    "fig04": fig04_access_breakdown,
+    "fig05": fig05_data_structure_thp,
+    "table2": table2_datasets,
+    "fig07": fig07_pressure_alloc_order,
+    "fig07b": fig07b_pressure_sweep,
+    "fig08": fig08_fragmentation,
+    "fig09": fig09_frag_sweep,
+    "fig10": fig10_selective_thp,
+    "fig11": fig11_selectivity_sweep,
+    "pagecache": page_cache_interference,
+    "dbg-overhead": dbg_overhead,
+    "headline": headline_summary,
+    "abl-census": ablation_alloc_order_census,
+    "abl-promotion": ablation_promotion_path,
+    "abl-reorder": ablation_reorder,
+}
+"""Figure registry: CLI ``repro figure <id>`` ids to entry points (the
+stable surface re-exported by :mod:`repro.api`)."""

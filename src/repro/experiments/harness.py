@@ -45,7 +45,8 @@ runaway cells as ``FAILED(watchdog)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Union
 
 from ..config import MachineConfig, scaled
@@ -71,6 +72,7 @@ from ..runstate.watchdog import CellWatchdog
 from ..workloads.layout import MemoryLayout
 from ..workloads.registry import create_workload, workload_needs_weights
 from .policies import Policy
+from .runconfig import RunConfig
 from .scenarios import Scenario
 
 RETRY_BACKOFF_BASE_CYCLES = 1_000_000
@@ -218,70 +220,193 @@ CellResult = Union[RunMetrics, CellFailure]
 graceful degradation — a structured failure."""
 
 
-@dataclass
+def run_cells(
+    cells: Sequence[tuple[str, str, Policy, Scenario]],
+    config: Optional[MachineConfig] = None,
+    run_config: Optional["RunConfig"] = None,
+) -> list[CellResult]:
+    """One-shot batch entry point: build a runner, run ``cells``.
+
+    Convenience wrapper for scripts that want results without holding a
+    runner; use :class:`ExperimentRunner` directly when you need the
+    cache, ``failures`` or ``trace_log`` afterwards.
+    """
+    runner = ExperimentRunner(config=config, run_config=run_config)
+    return runner.run_cells(cells)
+
+
+_LEGACY_RUNNER_KWARGS = {
+    # constructor keyword -> RunConfig field
+    "fault_plan": "faults",
+    "max_retries": "retries",
+    "cell_budget": "cell_budget",
+    "journal": "journal",
+    "resume": "resume",
+    "cell_cycles": "cell_cycles",
+    "cell_deadline_seconds": "cell_deadline_seconds",
+    "workers": "workers",
+}
+"""Pre-:class:`~repro.experiments.runconfig.RunConfig` constructor
+keywords, kept as deprecation shims (they warn, then fold into the run
+config)."""
+
+
 class ExperimentRunner:
     """Runs and caches experiment cells on one machine profile.
 
+    Execution policy — parallelism, journaling, retries, budgets,
+    watchdogs, fault injection, tracing — lives in one validated
+    :class:`~repro.experiments.runconfig.RunConfig`::
+
+        runner = ExperimentRunner(run_config=RunConfig(workers=4,
+                                                       trace=True))
+
+    The historical flat keywords (``workers=``, ``journal=``,
+    ``fault_plan=``, ...) still work but emit ``DeprecationWarning``
+    and fold into the run config; the matching attributes
+    (``runner.workers``, ``runner.journal``, ...) remain readable and
+    writable as thin views over ``runner.run_config``.
+
     Attributes:
         config: machine profile (default SCALED).
+        run_config: the execution policy (see :class:`RunConfig`).
         pagerank_iterations: iteration cap for PR cells, keeping trace
             volume proportional across datasets (the paper runs to
             convergence on real hardware; the cap does not change which
             policy wins, only absolute cycle counts).
         datasets: dataset names used by the figure functions.
-        fault_plan: optional fault-injection plan; overrides
-            ``config.fault_plan`` when set.  Each cell arms a fresh
-            injector so fault sequences are per-cell deterministic.
-        max_retries: bounded retries per cell for *injected* faults
-            (deterministic OOM/budget failures are never retried).
-        cell_budget: cap on simulated compute accesses per cell (the
-            runaway guard); ``None`` disables it.
         capture_failures: when True (default), failed cells become
             cached :class:`CellFailure` results; when False the error
             propagates after retries (strict mode for tests/debugging).
-        journal: optional :class:`~repro.runstate.journal.RunJournal`;
-            when set, every cell outcome is appended crash-safely.
-        resume: when True (and a journal is set), cells whose spec
-            fingerprint matches a completed journal record are decoded
-            from the journal instead of re-simulated.
-        cell_cycles: per-cell simulated-cycle watchdog budget
-            (deterministic — participates in cell identity).
-        cell_deadline_seconds: per-cell wall-clock watchdog deadline
-            (nondeterministic by design — excluded from cell identity).
-        workers: process fan-out for :meth:`run_cells` batches.  ``1``
-            (the default) is the serial path, bit-for-bit identical to
-            historical behavior; ``N > 1`` executes batched cells on a
-            work-stealing process pool with a deterministic merge (see
-            :mod:`repro.parallel` and docs/performance.md).  ``0``
-            means "one worker per CPU".
+        failures: structured records of every captured cell failure.
+        trace_log: with ``run_config.trace``, one entry per newly
+            resolved traced cell — ``{"cell": coords, "events": [...],
+            "obs_metrics": {...}}`` — appended in spec order (identical
+            bytes serial or parallel; see docs/observability.md).
     """
 
-    config: MachineConfig = field(default_factory=scaled)
-    pagerank_iterations: int = 3
-    datasets: tuple[str, ...] = EVALUATION_DATASETS
-    fault_plan: Optional[FaultPlan] = None
-    max_retries: int = 2
-    cell_budget: Optional[int] = None
-    capture_failures: bool = True
-    journal: Optional[RunJournal] = None
-    resume: bool = False
-    cell_cycles: Optional[int] = None
-    cell_deadline_seconds: Optional[float] = None
-    workers: int = 1
-    failures: list[CellFailure] = field(default_factory=list)
-    _cache: dict[tuple, CellResult] = field(default_factory=dict)
-    _graph_cache: dict[tuple[str, str, bool], tuple[CsrGraph, int]] = field(
-        default_factory=dict
-    )
-    _perm_cache: dict[tuple[str, str], Any] = field(default_factory=dict)
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        run_config: Optional[RunConfig] = None,
+        *,
+        pagerank_iterations: int = 3,
+        datasets: tuple[str, ...] = EVALUATION_DATASETS,
+        capture_failures: bool = True,
+        **legacy: Any,
+    ) -> None:
+        self.config = config if config is not None else scaled()
+        self.pagerank_iterations = pagerank_iterations
+        self.datasets = datasets
+        self.capture_failures = capture_failures
+        overrides: dict[str, Any] = {}
+        for name, value in legacy.items():
+            try:
+                target = _LEGACY_RUNNER_KWARGS[name]
+            except KeyError:
+                raise TypeError(
+                    "ExperimentRunner() got an unexpected keyword "
+                    f"argument {name!r}"
+                ) from None
+            warnings.warn(
+                f"ExperimentRunner({name}=...) is deprecated; pass "
+                f"run_config=RunConfig({target}=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides[target] = value
+        if run_config is None:
+            run_config = RunConfig(**overrides)
+        elif overrides:
+            run_config = run_config.replace(**overrides)
+        self.run_config = run_config
+        self.failures: list[CellFailure] = []
+        self.trace_log: list[dict[str, Any]] = []
+        self._cache: dict[tuple, CellResult] = {}
+        self._graph_cache: dict[
+            tuple[str, str, bool], tuple[CsrGraph, int]
+        ] = {}
+        self._perm_cache: dict[tuple[str, str], Any] = {}
+
+    # ------------------------------------------------------------------
+    # Compatibility views over the run config.  Readable and writable
+    # (tests and notebooks tweak knobs between batches); writes rebuild
+    # the frozen RunConfig so validation always holds.
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self.run_config.faults
+
+    @fault_plan.setter
+    def fault_plan(self, value: Optional[FaultPlan]) -> None:
+        self.run_config = self.run_config.replace(faults=value)
+
+    @property
+    def max_retries(self) -> int:
+        return self.run_config.retries
+
+    @max_retries.setter
+    def max_retries(self, value: int) -> None:
+        self.run_config = self.run_config.replace(retries=value)
+
+    @property
+    def cell_budget(self) -> Optional[int]:
+        return self.run_config.cell_budget
+
+    @cell_budget.setter
+    def cell_budget(self, value: Optional[int]) -> None:
+        self.run_config = self.run_config.replace(cell_budget=value)
+
+    @property
+    def journal(self) -> Optional[RunJournal]:
+        return self.run_config.journal
+
+    @journal.setter
+    def journal(self, value: Optional[RunJournal]) -> None:
+        self.run_config = self.run_config.replace(journal=value)
+
+    @property
+    def resume(self) -> bool:
+        return self.run_config.resume
+
+    @resume.setter
+    def resume(self, value: bool) -> None:
+        self.run_config = self.run_config.replace(resume=value)
+
+    @property
+    def cell_cycles(self) -> Optional[int]:
+        return self.run_config.cell_cycles
+
+    @cell_cycles.setter
+    def cell_cycles(self, value: Optional[int]) -> None:
+        self.run_config = self.run_config.replace(cell_cycles=value)
+
+    @property
+    def cell_deadline_seconds(self) -> Optional[float]:
+        return self.run_config.cell_deadline_seconds
+
+    @cell_deadline_seconds.setter
+    def cell_deadline_seconds(self, value: Optional[float]) -> None:
+        self.run_config = self.run_config.replace(
+            cell_deadline_seconds=value
+        )
+
+    @property
+    def workers(self) -> int:
+        return self.run_config.workers
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        self.run_config = self.run_config.replace(workers=value)
 
     # ------------------------------------------------------------------
 
     @property
     def effective_fault_plan(self) -> Optional[FaultPlan]:
-        """The armed plan: runner-level first, else the config's."""
-        if self.fault_plan is not None:
-            return self.fault_plan
+        """The armed plan: run-config level first, else the config's."""
+        if self.run_config.faults is not None:
+            return self.run_config.faults
         return self.config.fault_plan
 
     def run_cell(
@@ -316,6 +441,10 @@ class ExperimentRunner:
                 recorded = self.journal.result(spec)
                 if recorded is not None:
                     self._cache[key] = recorded
+                    self._record_trace(
+                        (workload_name, dataset_name, policy, scenario),
+                        recorded,
+                    )
                     return recorded
             self.journal.begin(spec, cell_coords)
 
@@ -327,7 +456,34 @@ class ExperimentRunner:
             # silently continue unjournaled.
             self.journal.record_result(spec, cell_coords, result)
         self._cache[key] = result
+        self._record_trace(
+            (workload_name, dataset_name, policy, scenario), result
+        )
         return result
+
+    def _record_trace(
+        self,
+        cell: tuple[str, str, Policy, Scenario],
+        result: CellResult,
+    ) -> None:
+        """Append one newly resolved cell's events to ``trace_log``.
+
+        Called exactly once per cache insertion (never on cache hits),
+        and only in spec order — the parallel merge defers to a final
+        in-order pass — so the accumulated log is byte-identical
+        however the batch was executed."""
+        if not self.run_config.trace or not result.ok:
+            return
+        events = result.trace
+        if not events:
+            return
+        self.trace_log.append(
+            {
+                "cell": self._cell_coords(*cell),
+                "events": events,
+                "obs_metrics": result.obs_metrics,
+            }
+        )
 
     def run_cells(
         self, cells: Sequence[tuple[str, str, Policy, Scenario]]
@@ -366,6 +522,10 @@ class ExperimentRunner:
         keys = [self._cell_key(*cell) for cell in cells]
         dispatch: list[int] = []
         dispatched_keys: set = set()
+        # Keys resolved by *this* batch (resume hits and executions, not
+        # pre-existing cache entries): their traces are appended in one
+        # final spec-order pass, matching the serial interleaving.
+        fresh_keys: set = set()
         for i, cell in enumerate(cells):
             key = keys[i]
             if key in dispatched_keys:
@@ -381,6 +541,7 @@ class ExperimentRunner:
                     # like the serial path — never dispatched.
                     self._cache[key] = recorded
                     results[i] = recorded
+                    fresh_keys.add(key)
                     continue
             dispatched_keys.add(key)
             dispatch.append(i)
@@ -417,10 +578,22 @@ class ExperimentRunner:
                     self.failures.append(result)
                 self._cache[keys[i]] = result
                 results[i] = result
+                fresh_keys.add(keys[i])
             elif results[i] is None:
                 # Duplicate of a dispatched cell: its first occurrence
                 # (earlier in spec order) has already filled the cache.
                 results[i] = self._cache[keys[i]]
+        if self.run_config.trace and fresh_keys:
+            # Trace append runs as one in-order pass over the batch: a
+            # serial run interleaves resume hits and executions in cell
+            # order, so the parallel merge must too (first occurrence of
+            # each newly resolved key only).
+            appended: set = set()
+            for i, cell in enumerate(cells):
+                key = keys[i]
+                if key in fresh_keys and key not in appended:
+                    appended.add(key)
+                    self._record_trace(cell, self._cache[key])
         return results  # type: ignore[return-value]
 
     def _cell_key(
@@ -570,7 +743,15 @@ class ExperimentRunner:
     ) -> RunMetrics:
         """One attempt at one cell, on a fresh machine."""
         workload = self._make_workload(workload_name, graph)
-        machine = Machine(self.config, policy.make_thp(), injector=injector)
+        machine = Machine(
+            self.config,
+            policy.make_thp(),
+            injector=injector,
+            # sanitize=None defers to REPRO_SANITIZE / set_sanitize();
+            # trace=True arms a fresh per-cell tracer (repro.obs).
+            sanitize=True if self.run_config.sanitize else None,
+            trace=self.run_config.trace,
+        )
         layout = MemoryLayout(workload, policy.plan.order)
         self._apply_scenario(machine, scenario, layout, policy.plan)
         # A fresh watchdog per attempt: retries must not inherit an
@@ -734,7 +915,8 @@ class ExperimentRunner:
 
     def clear_cache(self) -> None:
         """Drop all cached cells *and* prepared graphs (frees memory
-        between figure batches); failure records are reset too.
+        between figure batches); failure records and the trace log are
+        reset too.
 
         Journal state is untouched: spec fingerprints derive from the
         cell *specification* (see :meth:`cell_spec`), not from object
@@ -744,3 +926,4 @@ class ExperimentRunner:
         self._graph_cache.clear()
         self._perm_cache.clear()
         self.failures.clear()
+        self.trace_log.clear()

@@ -11,7 +11,7 @@ Usage::
 
     from repro.faults import FaultPlan
     plan = FaultPlan.parse("compaction:1.0,swap-out:after=3")
-    runner = ExperimentRunner(fault_plan=plan, max_retries=2)
+    runner = ExperimentRunner(run_config=RunConfig(faults=plan, retries=2))
 
 See ``docs/faults.md`` for the site inventory and the harness's
 degradation semantics.

@@ -34,6 +34,7 @@ from ..mem.profiler import PageProfiler
 from ..mem.swap import SwapDevice
 from ..mem.thp import ThpPolicy
 from ..mem.vmm import VirtualMemoryManager
+from ..obs.tracer import Tracer
 from ..runstate.watchdog import CellWatchdog
 from ..tlb.hierarchy import TranslationHierarchy, TranslationStats
 from ..workloads.base import ARRAY_NAMES, Workload
@@ -55,6 +56,7 @@ class Machine:
         faults: Optional[FaultPlan] = None,
         injector: Optional[FaultInjector] = None,
         sanitize: Optional[bool] = None,
+        trace: "Optional[Tracer | bool]" = None,
     ) -> None:
         self.config = config if config is not None else scaled()
         self.thp = thp if thp is not None else ThpPolicy.never()
@@ -77,6 +79,24 @@ class Machine:
         )
         self.page_cache = PageCache(self.physical.nodes, injector=injector)
         self.swap = SwapDevice(injector=injector)
+        # Observability (docs/observability.md): trace=True builds a
+        # fresh Tracer, trace=Tracer() attaches the caller's, None/False
+        # leaves every subsystem hook at its zero-cost `None` state.
+        if trace is True:
+            trace = Tracer()
+        elif trace is False:
+            trace = None
+        self.tracer: Optional[Tracer] = trace
+        if trace is not None:
+            # The tracer's clock is the *current* kernel ledger, read at
+            # every emission — finish_setup()'s ledger swap is picked up
+            # transparently.
+            trace.bind_clock(lambda: self.physical.ledger.total_cycles)
+            self.thp.tracer = trace
+            for node in self.physical.nodes:
+                node.tracer = trace
+            self.page_cache.tracer = trace
+            self.swap.tracer = trace
         self.hugetlb_pool = None
         # The application binds to the last node; node 0 is "remote"
         # (where tmpfs-staged input lives in the paper's setup).
@@ -194,13 +214,20 @@ class Machine:
             watchdog.start()
         ledger = self.physical.ledger
         init_start_cycles = ledger.total_cycles
+        tracer = self.tracer
 
         # Phase 1: load.
+        if tracer is not None:
+            tracer.emit("phase.begin", phase="load")
         if load_bytes:
             cache_node = (
                 self.remote_node_id if tmpfs_remote else self.app_node_id
             )
             self.page_cache.read_file(INPUT_FILE, load_bytes, cache_node)
+        load_cycles = ledger.total_cycles - init_start_cycles
+        if tracer is not None:
+            tracer.emit("phase.end", phase="load", phase_cycles=load_cycles)
+            tracer.emit("phase.begin", phase="init")
 
         # Phase 2: initialize.
         vmm = VirtualMemoryManager(self.app_node, self.thp, self.config)
@@ -224,10 +251,18 @@ class Machine:
         init_cycles = ledger.total_cycles - init_start_cycles
         if watchdog is not None:
             watchdog.check(init_cycles)
+        if tracer is not None:
+            tracer.emit(
+                "phase.end",
+                phase="init",
+                phase_cycles=init_cycles - load_cycles,
+            )
+            tracer.emit("phase.begin", phase="compute")
 
         # Phase 3: compute.
         cost = self.config.cost
         hierarchy = TranslationHierarchy(self.config.tlb)
+        hierarchy.tracer = tracer
         stats = TranslationStats()
         compute_start_cycles = ledger.total_cycles
         swap_ins = 0
@@ -279,6 +314,10 @@ class Machine:
             + kernel_stall_cycles
         )
         preprocess_cycles = int(preprocess_accesses * cost.mem_access)
+        if tracer is not None:
+            tracer.emit(
+                "phase.end", phase="compute", phase_cycles=compute_cycles
+            )
 
         metrics = RunMetrics(
             workload=workload.name,
@@ -326,6 +365,11 @@ class Machine:
             # behind (leak detection) and the node map must be coherent.
             self.sanitizer.verify_teardown(vmm)
             self.sanitizer.verify_node(self.app_node)
+        if tracer is not None:
+            # Snapshot counters *before* drain() — drain resets the
+            # registry along with the event buffer.
+            metrics.obs_metrics = tracer.metrics.snapshot()
+            metrics.trace = tracer.drain()
         return metrics
 
     # ------------------------------------------------------------------

@@ -59,6 +59,12 @@ class RunMetrics:
     # Free-form context attached by the harness (scenario parameters).
     context: dict[str, Any] = field(default_factory=dict)
 
+    # Observability (docs/observability.md): structured events drained
+    # from the machine's tracer and the counter/gauge snapshot taken at
+    # drain time.  Both empty when tracing is off.
+    trace: list[dict[str, Any]] = field(default_factory=list)
+    obs_metrics: dict[str, Any] = field(default_factory=dict)
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------

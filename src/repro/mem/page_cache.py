@@ -44,6 +44,8 @@ class PageCache:
             raise ConfigError("page cache needs at least one node")
         self.nodes = nodes
         self.injector = injector
+        # Observability tracer, attached by the machine (None = off).
+        self.tracer = None
         self._owner_ids = {
             node.node_id: node.register_owner(self) for node in nodes
         }
@@ -102,6 +104,9 @@ class PageCache:
         self._files[name] = (node_id, existing)
         for frame in allocated:
             self._frame_file[(node_id, int(frame))] = name
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("cache.stage", file=name, frames=count)
         return count
 
     def evict_file(self, name: str) -> int:
@@ -117,6 +122,9 @@ class PageCache:
         node.free_frames(np.array(ordered, dtype=np.int64))
         for frame in ordered:
             self._frame_file.pop((node_id, frame), None)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("cache.evict", file=name, frames=len(ordered))
         return len(ordered)
 
     def drop_caches(self) -> int:

@@ -91,6 +91,9 @@ class NodeMemory:
         self.ledger = ledger
         self.injector = injector
         self.sanitizer = sanitizer
+        # Observability tracer, attached by the machine (None = off;
+        # every emission site below guards on it — rule REP008).
+        self.tracer = None
         self.frames_per_region = config.pages.frames_per_huge
         self.num_frames = config.frames_per_node
         self.num_regions = config.huge_regions_per_node
@@ -367,8 +370,18 @@ class NodeMemory:
                 self._release(old)
             self.ledger.compaction(len(migrated))
             self.ledger.tlb_flush()
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "mem.compaction",
+                    region=region,
+                    migrated_frames=len(migrated),
+                )
         if reclaimed:
             self.ledger.reclaim(reclaimed)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit("mem.reclaim", frames=reclaimed)
 
     def _migration_targets(self, count: int, exclude_region: int) -> np.ndarray:
         """Free frames outside ``exclude_region``, broken regions first."""
@@ -436,6 +449,9 @@ class NodeMemory:
             self._owners[int(self.owner_id[frame])].reclaim_frame(frame)
             self._release(frame)
         self.ledger.reclaim(int(candidates.size))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("mem.reclaim", frames=int(candidates.size))
         return int(candidates.size)
 
     def free_frames(self, frames: np.ndarray) -> None:

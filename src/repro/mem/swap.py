@@ -27,6 +27,8 @@ class SwapDevice:
         self.pages_out = 0
         self.pages_in = 0
         self.injector = injector
+        # Observability tracer, attached by the machine (None = off).
+        self.tracer = None
 
     def page_out(self, count: int = 1) -> None:
         """Record pages written to swap.
@@ -37,6 +39,9 @@ class SwapDevice:
         if self.injector is not None:
             self.injector.check(FaultSite.SWAP_OUT)
         self.pages_out += count
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("swap.out", pages=count)
 
     def page_in(self, count: int = 1) -> None:
         """Record pages read back from swap.
@@ -47,6 +52,9 @@ class SwapDevice:
         if self.injector is not None:
             self.injector.check(FaultSite.SWAP_IN)
         self.pages_in += count
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("swap.in", pages=count)
 
     @property
     def total_io(self) -> int:

@@ -35,6 +35,7 @@ from ..faults.sites import FaultSite
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids cycles)
     from ..analysis.sanitizer import MemSanitizer
+    from ..obs.tracer import Tracer
     from .vmm import Vma
 
 
@@ -73,6 +74,11 @@ class ThpPolicy:
         sanitizer: MemSan instance attached by the machine; ``None`` (the
             default) keeps every THP gate check-free.  Excluded from
             equality for the same reason as ``injector``.
+        tracer: observability tracer attached by the machine; ``None``
+            (the default) keeps every THP path emission-free — the
+            zero-cost-when-off guard discipline of
+            :mod:`repro.obs`.  Excluded from equality like the other
+            attachments.
     """
 
     mode: ThpMode = ThpMode.NEVER
@@ -86,6 +92,9 @@ class ThpPolicy:
         default=None, repr=False, compare=False
     )
     sanitizer: Optional["MemSanitizer"] = field(
+        default=None, repr=False, compare=False
+    )
+    tracer: Optional["Tracer"] = field(
         default=None, repr=False, compare=False
     )
 
@@ -154,3 +163,6 @@ class ThpPolicy:
         """
         if self.injector is not None:
             self.injector.check(FaultSite.KHUGEPAGED)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("thp.khugepaged.scan")

@@ -151,6 +151,7 @@ class VirtualMemoryManager:
         self.policy = policy
         self.config = config
         self.sanitizer = node.sanitizer
+        self.tracer = node.tracer
         self.owner_id = node.register_owner(self)
         self.vmas: list[Vma] = []
         self._next_vma_id = 0
@@ -278,7 +279,21 @@ class VirtualMemoryManager:
             if region is not None:
                 self._install_huge(vma, chunk, region)
                 ledger.huge_fault(self.config.pages.frames_per_huge)
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "thp.fault.grant",
+                        vma=vma.name,
+                        chunk=chunk,
+                        frames=self.config.pages.frames_per_huge,
+                    )
                 return
+            tracer = self.tracer
+            if tracer is not None:
+                # Eligible chunk the fault path could not back hugely:
+                # the paper's fault-time allocation failure under
+                # pressure/fragmentation.
+                tracer.emit("thp.fault.deny", vma=vma.name, chunk=chunk)
         self._install_base(vma, pages)
 
     def _install_huge(self, vma: Vma, chunk: int, region: int) -> None:
@@ -433,6 +448,9 @@ class VirtualMemoryManager:
                     promoted += 1
         if self.sanitizer is not None:
             self.sanitizer.verify_vmm(self)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("thp.khugepaged", promoted=promoted)
         return promoted
 
     def promote_chunk(self, vma: Vma, chunk: int) -> bool:
@@ -452,6 +470,14 @@ class VirtualMemoryManager:
         self.node.free_frames(old_frames)
         self._install_huge_frames_only(vma, chunk, region)
         self.node.ledger.promotion(self.config.pages.frames_per_huge)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "thp.promotion",
+                vma=vma.name,
+                chunk=chunk,
+                frames=self.config.pages.frames_per_huge,
+            )
         return True
 
     def _install_huge_frames_only(
@@ -517,6 +543,9 @@ class VirtualMemoryManager:
         vma.is_huge[pages] = False
         self.node.demote_region(region)
         self.node.ledger.demotion()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("thp.demotion", vma=vma.name, chunk=chunk)
 
     def demote_underutilized(self, vma: Vma, utilization: np.ndarray,
                              threshold: float) -> int:

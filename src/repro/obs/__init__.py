@@ -1,0 +1,44 @@
+"""repro.obs — the observability layer (see docs/observability.md).
+
+A zero-cost-when-off structured event tracer with a counter/gauge
+metrics registry and exporters for JSONL and Chrome ``trace_event``
+JSON (Perfetto-openable):
+
+- :mod:`repro.obs.events` — the event taxonomy (names, required
+  fields, units); the golden schema test pins it.
+- :mod:`repro.obs.tracer` — :class:`Tracer` / :class:`MetricsRegistry`:
+  what the machine attaches to every instrumented subsystem.
+- :mod:`repro.obs.export` — JSONL and Chrome exporters plus the
+  ``repro trace summary`` digest, all routed through
+  :mod:`repro.runstate.atomic`.
+
+Attach via ``Machine(trace=True)`` (or ``trace=Tracer()``), or
+sweep-wide via ``RunConfig(trace=True)`` / ``repro run --trace``.
+"""
+
+from .events import EVENT_NAMES, EVENT_SCHEMA, validate_event, validate_events
+from .export import (
+    read_trace_jsonl,
+    summarize,
+    to_chrome_trace,
+    validate_trace_records,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from .tracer import MetricsRegistry, NullTracer, Tracer
+
+__all__ = [
+    "EVENT_NAMES",
+    "EVENT_SCHEMA",
+    "MetricsRegistry",
+    "NullTracer",
+    "Tracer",
+    "read_trace_jsonl",
+    "summarize",
+    "to_chrome_trace",
+    "validate_event",
+    "validate_events",
+    "validate_trace_records",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,143 @@
+"""The structured event tracer and its counter/gauge registry.
+
+Zero-cost-when-off discipline (the same contract MemSan and the fault
+injector honor): subsystems never construct event payloads
+unconditionally.  Every emission site is::
+
+    tracer = self.tracer
+    if tracer is not None:
+        tracer.emit("thp.promotion", vma=vma.name, chunk=chunk, ...)
+
+so a machine built without tracing pays exactly one attribute load and
+one ``is not None`` test per *site*, never per event — rule REP008 in
+:mod:`repro.analysis` enforces the guard shape statically, and
+``benchmarks/bench_trace_overhead.py`` bounds the residual cost
+empirically (< 2%).
+
+Determinism: the tracer's clock is the simulated kernel ledger
+(:class:`~repro.mem.stats.KernelLedger` ``total_cycles``), bound by the
+machine at attach time, plus a monotone per-run sequence number — never
+a wall clock (rule REP001), so two runs of the same cell produce
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import validate_event
+
+
+class MetricsRegistry:
+    """Counters and gauges aggregated alongside the event stream.
+
+    Counters accumulate (event occurrences, summed integer payload
+    fields); gauges hold the last value set.  :meth:`snapshot` renders
+    both as one sorted, JSON-safe dict so the registry's contents ride
+    inside :class:`~repro.machine.metrics.RunMetrics` and round-trip
+    through the journal byte-stably.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, int] = {}
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: int) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = int(value)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Sorted, JSON-safe view: ``{"counters": {...}, "gauges": {...}}``."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+        }
+
+    def reset(self) -> None:
+        """Drop every counter and gauge."""
+        self._counters.clear()
+        self._gauges.clear()
+
+
+class Tracer:
+    """Collects typed events from instrumented subsystems.
+
+    One tracer serves one measured run: the machine binds the simulated
+    clock, subsystem hooks :meth:`emit` events, and the machine
+    :meth:`drain`\\ s the buffer into the run's
+    :class:`~repro.machine.metrics.RunMetrics` at the end.
+
+    Every :meth:`emit` also feeds the :class:`MetricsRegistry`: one
+    occurrence counter per event name (``event.<name>``) and one sum
+    counter per integer payload field (``<name>.<field>``), so the
+    registry answers "how many promotions, how many frames migrated"
+    without replaying the event stream.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.metrics = MetricsRegistry()
+        self._clock: Callable[[], int] = clock if clock is not None else (
+            lambda: 0
+        )
+        self._seq = 0
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the simulated clock (read at every emission, so a
+        ledger swap mid-setup is transparently picked up)."""
+        self._clock = clock
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record one event.
+
+        ``fields`` must match the event's :data:`~repro.obs.events
+        .EVENT_SCHEMA` entry; values must be JSON-safe (str/int/float).
+        """
+        record: dict[str, Any] = {
+            "seq": self._seq,
+            "cycles": int(self._clock()),
+            "name": name,
+        }
+        record.update(fields)
+        self._seq += 1
+        self.events.append(record)
+        metrics = self.metrics
+        metrics.count(f"event.{name}")
+        for field, value in fields.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            metrics.count(f"{name}.{field}", value)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Detach and return the buffered events, resetting the tracer
+        (events, sequence numbers and metrics) for the next run."""
+        events = self.events
+        self.events = []
+        self._seq = 0
+        self.metrics = MetricsRegistry()
+        return events
+
+    def validate(self) -> list[str]:
+        """Schema-check the buffered events (see
+        :func:`~repro.obs.events.validate_event`)."""
+        problems: list[str] = []
+        for index, record in enumerate(self.events):
+            for problem in validate_event(record):
+                problems.append(f"event[{index}]: {problem}")
+        return problems
+
+
+class NullTracer(Tracer):
+    """A tracer that discards everything.
+
+    Used by the overhead benchmark to measure the cost of *passing* the
+    ``is not None`` guards (guard + dynamic dispatch at every site)
+    without accumulating event storage.
+    """
+
+    def emit(self, name: str, **fields: Any) -> None:  # noqa: D102
+        pass

@@ -79,28 +79,33 @@ class WorkerContext:
 
     config: Any
     pagerank_iterations: int
-    fault_plan: Any
-    max_retries: int
-    cell_budget: Optional[int]
-    cell_cycles: Optional[int]
-    cell_deadline_seconds: Optional[float]
+    run_config: Any  # a worker-safe RunConfig (journal stripped)
     graph_cache: dict
     perm_cache: dict
     cells: list
     sanitize: bool
 
+    @property
+    def cell_deadline_seconds(self) -> Optional[float]:
+        """The wall-clock deadline the parent-side watchdog enforces."""
+        return self.run_config.cell_deadline_seconds
+
     @classmethod
     def from_runner(
         cls, runner: "ExperimentRunner", cells: list
     ) -> "WorkerContext":
+        run_config = runner.run_config.worker_view()
+        if run_config.faults is None:
+            # Pin the effective plan so a config-level fault plan
+            # survives the journey even if the worker's profile lookup
+            # were to drift from the parent's.
+            run_config = run_config.replace(
+                faults=runner.effective_fault_plan
+            )
         return cls(
             config=runner.config,
             pagerank_iterations=runner.pagerank_iterations,
-            fault_plan=runner.effective_fault_plan,
-            max_retries=runner.max_retries,
-            cell_budget=runner.cell_budget,
-            cell_cycles=runner.cell_cycles,
-            cell_deadline_seconds=runner.cell_deadline_seconds,
+            run_config=run_config,
             graph_cache=runner._graph_cache,
             perm_cache=runner._perm_cache,
             cells=cells,
@@ -118,13 +123,9 @@ class WorkerContext:
 
         runner = ExperimentRunner(
             config=self.config,
+            run_config=self.run_config,
             pagerank_iterations=self.pagerank_iterations,
-            fault_plan=self.fault_plan,
-            max_retries=self.max_retries,
-            cell_budget=self.cell_budget,
             capture_failures=True,
-            cell_cycles=self.cell_cycles,
-            cell_deadline_seconds=self.cell_deadline_seconds,
         )
         runner._graph_cache = self.graph_cache
         runner._perm_cache = self.perm_cache

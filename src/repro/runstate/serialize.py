@@ -169,6 +169,8 @@ def encode_result(result: Any) -> dict[str, Any]:
         "attempts": result.attempts,
         "retry_cycles": result.retry_cycles,
         "context": result.context,
+        "trace": result.trace,
+        "obs_metrics": result.obs_metrics,
     }
 
 
@@ -230,4 +232,6 @@ def decode_result(payload: dict[str, Any]) -> Any:
         attempts=payload.get("attempts", 1),
         retry_cycles=payload.get("retry_cycles", 0),
         context=payload.get("context", {}),
+        trace=payload.get("trace", []),
+        obs_metrics=payload.get("obs_metrics", {}),
     )

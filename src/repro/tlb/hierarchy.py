@@ -110,6 +110,11 @@ class TranslationHierarchy:
         self.l1_base = SetAssociativeTlb(config.l1_base)
         self.l1_huge = SetAssociativeTlb(config.l1_huge)
         self.l2 = SetAssociativeTlb(config.l2)
+        # Observability tracer, attached by the machine (None = off).
+        # One event per simulated access *stream*, never per access, so
+        # the tracer stays off the per-access hot loop entirely.
+        self.tracer = None
+        self._stream = 0
 
     def flush(self) -> None:
         """Full shootdown of every level."""
@@ -209,3 +214,13 @@ class TranslationHierarchy:
 
         stats.l1_misses += np.asarray(l1m_l, dtype=np.int64)
         stats.walks += np.asarray(wlk_l, dtype=np.int64)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "tlb.stream",
+                stream=self._stream,
+                accesses=int(trace.counts.sum()) if trace.counts.size else 0,
+                l1_misses=sum(l1m_l),
+                walks=sum(wlk_l),
+            )
+            self._stream += 1

@@ -400,7 +400,7 @@ class TestDriver:
 
     def test_rule_catalogue_complete(self):
         assert ALL_RULES == tuple(sorted(RULE_SUMMARIES))
-        assert len(ALL_RULES) == 7
+        assert len(ALL_RULES) == 8
 
     def test_syntax_error_reported_not_fatal(self, tmp_path):
         (tmp_path / "bad.py").write_text("def broken(:\n")

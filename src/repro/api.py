@@ -111,13 +111,16 @@ from .obs import (
     write_chrome_trace,
     write_trace_jsonl,
 )
+from .chaos import ChaosPlan, run_scenarios
 from .runstate import RunJournal
+from .serve import ServiceConfig, SweepClient
 from .units import format_bytes
 from .workloads import Bfs, PageRank, Sssp, create_workload
 
 __all__ = [
     "AdvisorReport",
     "Bfs",
+    "ChaosPlan",
     "CsrGraph",
     "DATASETS",
     "EVENT_NAMES",
@@ -141,7 +144,9 @@ __all__ = [
     "RunMetrics",
     "SCENARIOS",
     "Scenario",
+    "ServiceConfig",
     "Sssp",
+    "SweepClient",
     "ThpMode",
     "ThpPolicy",
     "Tracer",
@@ -183,6 +188,7 @@ __all__ = [
     "recommended_reorder",
     "rmat_graph",
     "run_cells",
+    "run_scenarios",
     "save_edge_list",
     "scaled",
     "selective_policy",

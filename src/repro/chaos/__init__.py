@@ -1,0 +1,30 @@
+"""repro.chaos — deterministic process-level adversity (docs/service.md).
+
+The simulator's fault injector (:mod:`repro.faults`) perturbs code
+*inside* a process; this package perturbs the processes themselves,
+on exactly counted schedules:
+
+- :mod:`repro.chaos.plan` — :class:`ChaosPlan`: the
+  ``action:point:ordinal`` grammar (``kill-worker:cell:N``,
+  ``kill-server:append:N``, ``enospc:append:N``).
+- :mod:`repro.chaos.journal` — :class:`ChaosJournal`: a run journal
+  that tears or refuses appends on cue.
+- :mod:`repro.chaos.crash` — ``python -m repro.chaos.crash``: run any
+  CLI command with a SIGKILL bomb at one counted crash point.
+- :mod:`repro.chaos.harness` — the ``repro chaos`` scenarios asserting
+  the service's recovery invariants (byte identity, exactly-once,
+  ladder/breaker visibility).
+"""
+
+from .harness import SCENARIOS, ChaosServer, run_scenarios
+from .journal import ChaosJournal
+from .plan import ChaosAction, ChaosPlan
+
+__all__ = [
+    "SCENARIOS",
+    "ChaosAction",
+    "ChaosJournal",
+    "ChaosPlan",
+    "ChaosServer",
+    "run_scenarios",
+]

@@ -1,0 +1,120 @@
+"""Deterministic chaos plans: process-level adversity on a schedule.
+
+A chaos plan composes the simulator's injected fault sites
+(:mod:`repro.faults`) with the adversity they cannot express — killing
+whole processes and filling the disk — while staying exactly as
+deterministic: every action fires at a counted ordinal, never at
+random.
+
+Grammar (comma list): ``action:point:ordinal``
+
+- ``kill-worker:cell:N`` — the worker executing the N-th task
+  *dispatch* SIGKILLs itself mid-cell (redeliveries count as
+  dispatches, so a plan can also kill the retry).
+- ``kill-server:append:N`` — the server tears the N-th journal append
+  (writes half the record, fsyncs, then SIGKILLs itself) — a crash
+  mid-``journal.write``, one level below the ``journal.write`` fault
+  site because the *process* dies too.
+- ``enospc:append:N`` — journal appends fail with ``ENOSPC`` from the
+  N-th onward (the disk stays "full"), driving the service's
+  cached-only degradation.
+
+Ordinals are 1-based.  Kill actions fire exactly once (their ordinal
+must match); ``enospc`` is a threshold (``>=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+ACTION_KILL_WORKER = "kill-worker"
+ACTION_KILL_SERVER = "kill-server"
+ACTION_ENOSPC = "enospc"
+
+POINT_CELL = "cell"
+POINT_APPEND = "append"
+
+_VALID = {
+    ACTION_KILL_WORKER: (POINT_CELL,),
+    ACTION_KILL_SERVER: (POINT_APPEND,),
+    ACTION_ENOSPC: (POINT_APPEND,),
+}
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    action: str
+    point: str
+    ordinal: int
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A parsed, immutable chaos schedule."""
+
+    actions: tuple[ChaosAction, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosPlan":
+        actions = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            pieces = part.split(":")
+            if len(pieces) != 3:
+                raise ConfigError(
+                    f"bad chaos action {part!r}: expected "
+                    "action:point:ordinal"
+                )
+            action, point, raw_ordinal = pieces
+            if action not in _VALID:
+                raise ConfigError(
+                    f"unknown chaos action {action!r}; known: "
+                    + ", ".join(sorted(_VALID))
+                )
+            if point not in _VALID[action]:
+                raise ConfigError(
+                    f"chaos action {action!r} does not support point "
+                    f"{point!r}; supported: "
+                    + ", ".join(_VALID[action])
+                )
+            try:
+                ordinal = int(raw_ordinal)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"bad chaos ordinal {raw_ordinal!r} in {part!r}"
+                ) from exc
+            if ordinal < 1:
+                raise ConfigError(
+                    f"chaos ordinals are 1-based, got {ordinal}"
+                )
+            actions.append(ChaosAction(action, point, ordinal))
+        if not actions:
+            raise ConfigError("chaos plan is empty")
+        return cls(actions=tuple(actions))
+
+    # ------------------------------------------------------------------
+
+    def kill_worker_at(self, dispatch_ordinal: int) -> bool:
+        """True when the worker serving this dispatch must die mid-cell."""
+        return any(
+            a.action == ACTION_KILL_WORKER and a.ordinal == dispatch_ordinal
+            for a in self.actions
+        )
+
+    def kill_server_at_append(self, append_ordinal: int) -> bool:
+        """True when this journal append must tear and kill the server."""
+        return any(
+            a.action == ACTION_KILL_SERVER and a.ordinal == append_ordinal
+            for a in self.actions
+        )
+
+    def enospc_at_append(self, append_ordinal: int) -> bool:
+        """True when this (and every later) append must fail ENOSPC."""
+        return any(
+            a.action == ACTION_ENOSPC and append_ordinal >= a.ordinal
+            for a in self.actions
+        )

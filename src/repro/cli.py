@@ -146,6 +146,15 @@ def _make_runner(args: argparse.Namespace):
     )
 
 
+def _close_runner(runner) -> None:
+    """Release the sweep's journal lock now that the command is done
+    (atexit would release it anyway; in-process callers shouldn't have
+    to wait for interpreter shutdown)."""
+    journal = getattr(runner.run_config, "journal", None)
+    if journal is not None:
+        journal.close()
+
+
 def _write_trace(args: argparse.Namespace, runner) -> None:
     """Flush an armed runner's trace log to ``--trace PATH``."""
     path = getattr(args, "trace", None)
@@ -153,7 +162,13 @@ def _write_trace(args: argparse.Namespace, runner) -> None:
         return
     from .obs import write_trace_jsonl
 
-    lines = write_trace_jsonl(path, runner.trace_log)
+    entries = list(runner.trace_log)
+    harness_entry = runner.harness_trace_entry()
+    if harness_entry is not None:
+        # Sweep-level resilience events ride in a synthetic trailing
+        # "harness/-/-/-" cell (see docs/observability.md).
+        entries.append(harness_entry)
+    lines = write_trace_jsonl(path, entries)
     print(f"wrote {lines} trace event(s) to {path}", file=sys.stderr)
 
 
@@ -266,47 +281,136 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--dataset", default="kron-s")
     _add_common_machine_args(advise)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient sweep service (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--journal", required=True, metavar="PATH",
+        help="run journal backing the result store (pidfile-locked for "
+        "the server's lifetime)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a UNIX-domain socket (preferred for local use)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP listen host (when no --socket)")
+    serve.add_argument("--port", type=int, default=7341,
+                       help="TCP listen port (default: 7341)")
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes (clamped to CPUs; 1 starts on the "
+        "ladder's serial rung; default: 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="admission bound on in-flight specs; beyond it "
+        "submissions get 429 + Retry-After (default: 8)",
+    )
+    serve.add_argument(
+        "--max-job-attempts", type=int, default=2, metavar="N",
+        help="dispatches per job before a worker-crash loop is "
+        "surfaced as a failure (default: 2)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="failures before a spec is quarantined (default: 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=60.0, metavar="SECONDS",
+        help="quarantine period before one probe is admitted "
+        "(default: 60)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.1, metavar="SECONDS",
+        help="worker heartbeat period (default: 0.1)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="heartbeat silence treated as a wedged worker "
+        "(default: 5)",
+    )
+    serve.add_argument(
+        "--restart-backoff-base", type=float, default=0.1,
+        metavar="SECONDS",
+        help="base of the bounded exponential restart backoff "
+        "(default: 0.1)",
+    )
+    serve.add_argument(
+        "--restart-backoff-max", type=float, default=5.0,
+        metavar="SECONDS",
+        help="cap on the restart backoff (default: 5)",
+    )
+    serve.add_argument(
+        "--degrade-restart-threshold", type=int, default=3, metavar="N",
+        help="worker restarts within --degrade-window that step the "
+        "degradation ladder (default: 3)",
+    )
+    serve.add_argument(
+        "--degrade-window", type=float, default=30.0, metavar="SECONDS",
+        help="sliding window for the restart rate (default: 30)",
+    )
+    serve.add_argument(
+        "--pagerank-iterations", type=int, default=3, metavar="N",
+        help="PageRank iteration cap, part of cell identity "
+        "(default: 3)",
+    )
+    serve.add_argument(
+        "--cell-cycles", type=int, default=None, metavar="CYCLES",
+        help="watchdog: cap on simulated cycles per cell",
+    )
+    serve.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog: wall-clock deadline per cell",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="deterministic chaos plan (tests only): comma list of "
+        "action:point:ordinal, e.g. 'kill-worker:cell:1,"
+        "enospc:append:3'; see docs/service.md",
+    )
+    _add_common_machine_args(serve)
+    serve.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max retries per cell for injected faults (default: 2)",
+    )
+    serve.add_argument(
+        "--cell-budget", type=int, default=None, metavar="ACCESSES",
+        help="cap on simulated accesses per cell",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic chaos scenarios against a real "
+        "server (see docs/service.md)",
+    )
+    chaos.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help="scenarios to run (default: all); see --list",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="working directory for journals/sockets/logs "
+        "(default: a fresh temporary directory, kept on failure)",
+    )
+
     return parser
 
 
 def _parse_policy(spec: str):
-    from .experiments.policies import POLICIES, selective_policy
+    from .experiments.parse import parse_policy
 
-    if spec.startswith("selective:"):
-        parts = spec.split(":")
-        fraction = float(parts[1])
-        reorder = parts[2] if len(parts) > 2 else "dbg"
-        return selective_policy(fraction, reorder=reorder)
-    if spec in POLICIES:
-        return POLICIES[spec]
-    raise ReproError(
-        f"unknown policy {spec!r}; known: "
-        + ", ".join(sorted(POLICIES))
-        + ", selective:<s>[:<reorder>]"
-    )
+    return parse_policy(spec)
 
 
 def _parse_scenario(spec: str):
-    from .experiments.scenarios import (
-        SCENARIOS,
-        constrained,
-        fragmented,
-    )
+    from .experiments.parse import parse_scenario
 
-    if spec in SCENARIOS:
-        return SCENARIOS[spec]
-    if spec.startswith("constrained:"):
-        return constrained(float(spec.split(":")[1]))
-    if spec.startswith("fragmented:"):
-        parts = spec.split(":")
-        level = float(parts[1])
-        pressure = float(parts[2]) if len(parts) > 2 else 3.0
-        return fragmented(level, pressure)
-    raise ReproError(
-        f"unknown scenario {spec!r}; known: "
-        + ", ".join(sorted(SCENARIOS))
-        + ", constrained:<gb>, fragmented:<level>[:<gb>]"
-    )
+    return parse_scenario(spec)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -315,8 +419,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     policy = _parse_policy(args.policy)
     scenario = _parse_scenario(args.scenario)
-    result = runner.run_cell(args.workload, args.dataset, policy, scenario)
-    _write_trace(args, runner)
+    try:
+        result = runner.run_cell(args.workload, args.dataset, policy, scenario)
+        _write_trace(args, runner)
+    finally:
+        _close_runner(runner)
     if isinstance(result, CellFailure):
         print(result.describe(), file=sys.stderr)
         return 1
@@ -347,15 +454,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         kwargs["workloads"] = tuple(args.workloads.split(","))
     if args.datasets:
         kwargs["datasets"] = tuple(args.datasets.split(","))
-    for function in selected:
-        result = function(runner, **kwargs)
-        print(result.to_json() if args.json else result.render())
-        if args.out:
-            txt_path, json_path = result.save(args.out)
-            print(f"saved {txt_path} and {json_path}", file=sys.stderr)
-        if len(selected) > 1:
-            print()
-    _write_trace(args, runner)
+    try:
+        for function in selected:
+            result = function(runner, **kwargs)
+            print(result.to_json() if args.json else result.render())
+            if args.out:
+                txt_path, json_path = result.save(args.out)
+                print(f"saved {txt_path} and {json_path}", file=sys.stderr)
+            if len(selected) > 1:
+                print()
+        _write_trace(args, runner)
+    finally:
+        _close_runner(runner)
     if runner.failures:
         print(
             f"{len(runner.failures)} cell(s) failed (graceful degradation):",
@@ -434,7 +544,16 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     import json as json_module
 
     from .runstate.journal import RunJournal
+    from .runstate.lock import live_holder
 
+    if args.action == "gc":
+        holder = live_holder(args.journal)
+        if holder is not None:
+            raise ReproError(
+                f"refusing to gc {args.journal!r}: journal is owned by "
+                f"live process {holder} (a running sweep or server); "
+                "stop it first or wait for it to finish"
+            )
     journal = RunJournal(args.journal)
     if args.action == "list":
         counts = journal.counts()
@@ -506,8 +625,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServiceConfig
+    from .serve.server import serve as run_server
+
+    config = ServiceConfig(
+        journal_path=args.journal,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_job_attempts=args.max_job_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+        heartbeat_interval_seconds=args.heartbeat_interval,
+        heartbeat_timeout_seconds=args.heartbeat_timeout,
+        restart_backoff_base_seconds=args.restart_backoff_base,
+        restart_backoff_max_seconds=args.restart_backoff_max,
+        degrade_restart_threshold=args.degrade_restart_threshold,
+        degrade_window_seconds=args.degrade_window,
+        profile=args.profile,
+        pagerank_iterations=args.pagerank_iterations,
+        retries=args.retries,
+        cell_budget=args.cell_budget,
+        cell_cycles=args.cell_cycles,
+        cell_deadline_seconds=args.cell_deadline,
+        chaos=args.chaos,
+    )
+    return run_server(config)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .chaos.harness import SCENARIOS, run_scenarios
+
+    if args.list:
+        for name, function in SCENARIOS.items():
+            doc = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12s} {doc}")
+        return 0
+    names = list(args.scenarios) or list(SCENARIOS)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    print(f"chaos workdir: {workdir}", file=sys.stderr)
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    reports = run_scenarios(names, workdir, log=log)
+    for report in reports:
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(report.items())
+            if key not in ("scenario", "ok")
+        )
+        print(f"{report['scenario']:12s} OK  {detail}")
+    print(f"{len(reports)}/{len(names)} scenario(s) passed")
+    return 0
+
+
 COMMANDS = {
     "run": _cmd_run,
+    "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "figure": _cmd_figure,
     "trace": _cmd_trace,
     "datasets": _cmd_datasets,

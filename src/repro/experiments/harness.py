@@ -66,6 +66,7 @@ from ..graph.io import on_disk_bytes
 from ..graph.reorder import DBG_COST, ORDERINGS
 from ..machine.machine import Machine
 from ..machine.metrics import RunMetrics
+from ..obs.tracer import MetricsRegistry, Tracer
 from ..runstate.journal import RunJournal
 from ..runstate.serialize import spec_fingerprint
 from ..runstate.watchdog import CellWatchdog
@@ -322,6 +323,18 @@ class ExperimentRunner:
         self.run_config = run_config
         self.failures: list[CellFailure] = []
         self.trace_log: list[dict[str, Any]] = []
+        self.metrics = MetricsRegistry()
+        """Always-on resilience counters (``harness.retries``,
+        ``harness.cell_failures``, ``harness.watchdog_kills``,
+        ``pool.autosize``), aggregated across every executed cell."""
+        self._harness_clock = 0
+        self.harness_tracer: Optional[Tracer] = None
+        if self.run_config.trace:
+            # Harness-level events (retries, absorbed failures, pool
+            # sizing) are clocked by a logical resolved-cell counter —
+            # identical serial or parallel, never a wall clock.
+            self.harness_tracer = Tracer(clock=lambda: self._harness_clock)
+        self._autosize_emitted = False
         self._cache: dict[tuple, CellResult] = {}
         self._graph_cache: dict[
             tuple[str, str, bool], tuple[CsrGraph, int]
@@ -456,10 +469,79 @@ class ExperimentRunner:
             # silently continue unjournaled.
             self.journal.record_result(spec, cell_coords, result)
         self._cache[key] = result
+        self._note_result(
+            (workload_name, dataset_name, policy, scenario), result
+        )
         self._record_trace(
             (workload_name, dataset_name, policy, scenario), result
         )
         return result
+
+    def _note_result(
+        self,
+        cell: tuple[str, str, Policy, Scenario],
+        result: CellResult,
+    ) -> None:
+        """Fold one *executed* cell's resilience outcome into the
+        runner's metrics (and, when tracing, the harness event stream).
+
+        Called once per execution — never for cache hits or journal
+        resume reconstructions, whose retries were counted by the run
+        that performed them.  Invoked in spec order on both the serial
+        and the parallel path, so harness events are byte-identical
+        however the batch was executed.
+        """
+        self._harness_clock += 1
+        retries = max(0, int(getattr(result, "attempts", 1) or 1) - 1)
+        label = "{}/{}/{}/{}".format(
+            cell[0], cell[1], cell[2].name, cell[3].name
+        )
+        metrics = self.metrics
+        tracer = self.harness_tracer
+        if retries:
+            metrics.count("harness.retries", retries)
+            if tracer is not None:
+                tracer.emit("harness.retry", cell=label, retries=retries)
+        if isinstance(result, CellFailure):
+            metrics.count("harness.cell_failures")
+            if tracer is not None:
+                tracer.emit(
+                    "harness.cell_failure",
+                    cell=label,
+                    cause=result.error,
+                    attempts=result.attempts,
+                )
+            if result.error == "watchdog":
+                metrics.count("harness.watchdog_kills")
+                if tracer is not None:
+                    tracer.emit("harness.watchdog_kill", cell=label)
+
+    def harness_trace_entry(self) -> Optional[dict[str, Any]]:
+        """The harness's own pseudo-cell trace entry, or ``None``.
+
+        Harness events (retries, failures, pool sizing) belong to the
+        sweep, not to any one cell, so they ride in a synthetic cell
+        labelled ``harness/-/-/-`` that the exporters and ``repro trace
+        summary`` handle like any other.  Draining resets the tracer, so
+        call this once, when flushing the trace.
+        """
+        tracer = self.harness_tracer
+        if tracer is None:
+            return None
+        snapshot = tracer.metrics.snapshot()
+        events = tracer.drain()
+        if not events:
+            return None
+        return {
+            "cell": {
+                "workload": "harness",
+                "dataset": "-",
+                "policy": "-",
+                "scenario": "-",
+            },
+            "events": events,
+            "obs_metrics": snapshot,
+        }
 
     def _record_trace(
         self,
@@ -506,9 +588,26 @@ class ExperimentRunner:
         cells = list(cells)
         workers = self.workers
         if workers != 1 and len(cells) > 1 and self.capture_failures:
+            import os
+
             from ..parallel.pool import resolve_workers
 
+            requested = workers
             workers = resolve_workers(workers)
+            if requested > 0 and workers < requested:
+                # Clamped to available CPUs: oversubscription would be
+                # pure overhead (the BENCH_sweep 0.82x regression).
+                self.metrics.count("pool.autosize")
+                if not self._autosize_emitted:
+                    self._autosize_emitted = True
+                    tracer = self.harness_tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "pool.autosize",
+                            requested=requested,
+                            effective=workers,
+                            cpus=os.cpu_count() or 1,
+                        )
         if workers <= 1 or len(cells) <= 1 or not self.capture_failures:
             return [self.run_cell(*cell) for cell in cells]
         return self._run_cells_parallel(cells)
@@ -577,6 +676,7 @@ class ExperimentRunner:
                 if isinstance(result, CellFailure):
                     self.failures.append(result)
                 self._cache[keys[i]] = result
+                self._note_result(cell, result)
                 results[i] = result
                 fresh_keys.add(keys[i])
             elif results[i] is None:
@@ -927,3 +1027,9 @@ class ExperimentRunner:
         self._perm_cache.clear()
         self.failures.clear()
         self.trace_log.clear()
+        self.metrics.reset()
+        self._harness_clock = 0
+        self._autosize_emitted = False
+        tracer = self.harness_tracer
+        if tracer is not None:
+            tracer.drain()

@@ -1,0 +1,74 @@
+"""String → experiment-object parsers shared by the CLI and the service.
+
+The sweep service ships cell specs between processes as plain strings
+(policy and scenario names survive pickling and HTTP trivially; policy
+objects with closures do not), so the parsers that used to live in
+:mod:`repro.cli` are hoisted here where both the CLI and
+:mod:`repro.serve` workers can reach them.
+
+Grammar (same as the CLI flags):
+
+- policy: a name from ``POLICIES``, or ``selective:<s>[:<reorder>]``;
+- scenario: a name from ``SCENARIOS``, or ``constrained:<gb>``, or
+  ``fragmented:<level>[:<gb>]``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def parse_policy(spec: str):
+    """Resolve a policy spec string to a ``PolicyCell``."""
+    from .policies import POLICIES, selective_policy
+
+    if spec.startswith("selective:"):
+        parts = spec.split(":")
+        try:
+            fraction = float(parts[1])
+        except (IndexError, ValueError) as exc:
+            raise ReproError(
+                f"bad selective policy spec {spec!r}: expected "
+                "selective:<s>[:<reorder>]"
+            ) from exc
+        reorder = parts[2] if len(parts) > 2 else "dbg"
+        return selective_policy(fraction, reorder=reorder)
+    if spec in POLICIES:
+        return POLICIES[spec]
+    raise ReproError(
+        f"unknown policy {spec!r}; known: "
+        + ", ".join(sorted(POLICIES))
+        + ", selective:<s>[:<reorder>]"
+    )
+
+
+def parse_scenario(spec: str):
+    """Resolve a scenario spec string to a ``Scenario``."""
+    from .scenarios import SCENARIOS, constrained, fragmented
+
+    if spec in SCENARIOS:
+        return SCENARIOS[spec]
+    if spec.startswith("constrained:"):
+        try:
+            return constrained(float(spec.split(":")[1]))
+        except (IndexError, ValueError) as exc:
+            raise ReproError(
+                f"bad constrained scenario spec {spec!r}: expected "
+                "constrained:<gb>"
+            ) from exc
+    if spec.startswith("fragmented:"):
+        parts = spec.split(":")
+        try:
+            level = float(parts[1])
+            pressure = float(parts[2]) if len(parts) > 2 else 3.0
+        except (IndexError, ValueError) as exc:
+            raise ReproError(
+                f"bad fragmented scenario spec {spec!r}: expected "
+                "fragmented:<level>[:<gb>]"
+            ) from exc
+        return fragmented(level, pressure)
+    raise ReproError(
+        f"unknown scenario {spec!r}; known: "
+        + ", ".join(sorted(SCENARIOS))
+        + ", constrained:<gb>, fragmented:<level>[:<gb>]"
+    )

@@ -164,11 +164,15 @@ class RunConfig:
             # The journal's own injector (for the journal.* crash-safety
             # sites) counts appends sweep-wide, unlike the per-cell
             # simulation injectors.
+            # lock=True: CLI sweeps own their journal for the process
+            # lifetime, so `repro runs gc` (and a second sweep) refuse
+            # to touch it while this run is alive.
             journal = RunJournal(
                 args.journal,
                 injector=(
                     plan.make_injector() if plan and plan.enabled else None
                 ),
+                lock=True,
             )
         elif getattr(args, "resume", False):
             raise ConfigError("--resume requires --journal PATH")

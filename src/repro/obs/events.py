@@ -23,7 +23,16 @@ by the subsystem that emits them:
 - ``mem.*`` — the physical allocator: compaction and reclaim,
 - ``swap.*`` — the swap device,
 - ``cache.*`` — the page cache,
-- ``tlb.*`` — per-access-stream translation counts.
+- ``tlb.*`` — per-access-stream translation counts,
+- ``pool.*`` — the parallel sweep pool (sizing decisions),
+- ``harness.*`` — the experiment harness's resilience machinery
+  (retries, absorbed failures, watchdog kills),
+- ``server.*`` / ``queue.*`` / ``breaker.*`` / ``worker.*`` — the sweep
+  service (:mod:`repro.serve`): daemon lifecycle and degradation-ladder
+  transitions, admission control, the per-spec circuit breaker, and
+  worker supervision.  Service events are clocked by a logical monotone
+  counter rather than simulated cycles (the daemon has no single
+  simulated machine), which keeps them REP001-clean.
 """
 
 from __future__ import annotations
@@ -64,6 +73,38 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
         "l1_misses": "count",
         "walks": "count",
     },
+    # -- parallel sweep pool ------------------------------------------
+    "pool.autosize": {
+        "requested": "count",
+        "effective": "count",
+        "cpus": "count",
+    },
+    # -- experiment harness resilience --------------------------------
+    "harness.retry": {"cell": "name", "retries": "count"},
+    "harness.cell_failure": {"cell": "name", "cause": "name",
+                             "attempts": "count"},
+    "harness.watchdog_kill": {"cell": "name"},
+    # -- sweep service: daemon lifecycle / degradation ladder ---------
+    "server.start": {"mode": "name", "workers": "count"},
+    "server.mode": {"from_mode": "name", "to_mode": "name",
+                    "reason": "name"},
+    "server.drain": {"pending": "count"},
+    "server.stop": {"served": "count"},
+    # -- sweep service: admission control / dedupe --------------------
+    "queue.enqueue": {"spec": "name", "depth": "count"},
+    "queue.reject": {"spec": "name", "depth": "count",
+                     "retry_after": "count"},
+    "queue.dedup": {"spec": "name", "waiters": "count"},
+    "queue.cached": {"spec": "name"},
+    # -- sweep service: per-spec circuit breaker ----------------------
+    "breaker.open": {"spec": "name", "failures": "count"},
+    "breaker.probe": {"spec": "name"},
+    "breaker.close": {"spec": "name"},
+    # -- sweep service: worker supervision ----------------------------
+    "worker.spawn": {"slot": "index", "pid": "count"},
+    "worker.exit": {"slot": "index", "pid": "count", "clean": "count"},
+    "worker.restart": {"slot": "index", "backoff_ms": "count"},
+    "worker.heartbeat_lost": {"slot": "index", "age_ms": "count"},
 }
 """Event name -> required event-specific fields and their units."""
 

@@ -61,10 +61,20 @@ the queue when the worker exits)."""
 
 
 def resolve_workers(workers: int) -> int:
-    """Normalize a worker-count knob: ``0`` means one per CPU."""
+    """Normalize a worker-count knob: ``0`` means one per CPU, and any
+    request is clamped to the CPUs actually available.
+
+    The clamp is what keeps the 1-CPU regression recorded in
+    ``BENCH_sweep.json`` (0.82x vs serial with ``--workers 4`` on one
+    core) from recurring: oversubscribing cores buys pure queue/IPC
+    overhead, so ``--workers 4`` on a 1-CPU host resolves to ``1`` and
+    takes the serial path.  Callers that need to know a clamp happened
+    compare against their requested value and emit ``pool.autosize``.
+    """
+    cpus = os.cpu_count() or 1
     if workers == 0:
-        return os.cpu_count() or 1
-    return max(1, workers)
+        return cpus
+    return min(max(1, workers), cpus)
 
 
 @dataclass

@@ -24,7 +24,11 @@ from .journal import (
     STATUS_RUNNING,
     JournalRecord,
     RunJournal,
+    parse_line,
+    render_line,
+    scan_records,
 )
+from .lock import PidLock, live_holder, lock_path_for
 from .serialize import (
     canonical_json,
     decode_result,
@@ -37,6 +41,7 @@ from .watchdog import CellWatchdog
 __all__ = [
     "CellWatchdog",
     "JournalRecord",
+    "PidLock",
     "RunJournal",
     "STATUS_DONE",
     "STATUS_FAILED",
@@ -47,5 +52,10 @@ __all__ = [
     "decode_result",
     "encode_result",
     "integrity_hash",
+    "live_holder",
+    "lock_path_for",
+    "parse_line",
+    "render_line",
+    "scan_records",
     "spec_fingerprint",
 ]

@@ -39,6 +39,7 @@ from typing import Any, Iterator, Optional
 from ..errors import JournalError
 from ..faults.injector import FaultInjector
 from .atomic import append_durable_line, atomic_write_text
+from .lock import PidLock
 from .serialize import canonical_json, decode_result, encode_result, integrity_hash
 
 STATUS_RUNNING = "running"
@@ -117,6 +118,41 @@ def _render_line(record: JournalRecord) -> str:
     return canonical_json(payload)
 
 
+def render_line(record: JournalRecord) -> str:
+    """Render one record to its canonical journal line (hash included).
+
+    Public for tools (the chaos harness) that need to author or compare
+    journal lines byte-for-byte without appending through a journal.
+    """
+    return _render_line(record)
+
+
+def parse_line(line: str) -> Optional[JournalRecord]:
+    """Parse one journal line; ``None`` for torn/corrupt lines."""
+    return _parse_line(line)
+
+
+def scan_records(path: str) -> list[JournalRecord]:
+    """Every *valid* record in file order, including superseded ones.
+
+    Unlike :meth:`RunJournal.records` (latest-per-spec), this returns
+    the full valid history — what the chaos harness needs to assert
+    exactly-once execution (exactly one ``running`` record per
+    deduplicated spec).  Torn lines are skipped, never raised.
+    """
+    out: list[JournalRecord] = []
+    if not os.path.exists(path):
+        return out
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = _parse_line(line)
+            if record is not None:
+                out.append(record)
+    return out
+
+
 class RunJournal:
     """Append-only, integrity-hashed JSONL journal for one sweep.
 
@@ -125,19 +161,39 @@ class RunJournal:
         injector: optional fault injector consulted at the
             ``journal.write`` / ``journal.fsync`` sites (crash-safety
             testing); ``None`` (the default) is the zero-cost path.
+        lock: when true, take the journal's pidfile liveness lock
+            (:class:`repro.runstate.lock.PidLock`) for the lifetime of
+            this object, so ``repro runs gc`` and second writers refuse
+            to touch the file while this process is alive.  Raises
+            :class:`repro.errors.JournalLockedError` if another live
+            process already owns it.
     """
 
     def __init__(
-        self, path: str, injector: Optional[FaultInjector] = None
+        self,
+        path: str,
+        injector: Optional[FaultInjector] = None,
+        lock: bool = False,
     ) -> None:
         self.path = os.fspath(path)
         self.injector = injector
+        self._lock: Optional[PidLock] = None
+        if lock:
+            guard = PidLock(self.path)
+            guard.acquire()
+            self._lock = guard
         self._latest: dict[str, JournalRecord] = {}
         self._seq = 0
         self.torn_records = 0
         """Torn/corrupt lines skipped during the initial load."""
         self._tail_torn = False
         self._load()
+
+    def close(self) -> None:
+        """Release the liveness lock, if held (idempotent)."""
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
 
     # ------------------------------------------------------------------
     # Loading / recovery

@@ -1,0 +1,52 @@
+"""repro.serve — the resilient sweep service (see docs/service.md).
+
+A supervised local daemon that turns the run journal into a
+multi-client result store:
+
+- :mod:`repro.serve.config` — :class:`ServiceConfig`, the validated
+  daemon configuration, and the degradation-ladder mode constants.
+- :mod:`repro.serve.service` — :class:`SweepService`: fingerprint
+  dedupe, cached serving, admission control, the circuit breaker and
+  the ladder.
+- :mod:`repro.serve.supervisor` — :class:`WorkerSupervisor`:
+  heartbeat-monitored worker processes with bounded-backoff restarts
+  and exactly-once job redelivery.
+- :mod:`repro.serve.breaker` — :class:`CircuitBreaker`: per-spec
+  quarantine, persisted across restarts.
+- :mod:`repro.serve.server` / :mod:`repro.serve.client` — the HTTP
+  (UDS or loopback TCP) transport and its blocking client.
+
+Start one with ``repro serve --journal run.jsonl --socket run.sock``;
+exercise it under process-level adversity with ``repro chaos``.
+"""
+
+from .breaker import CircuitBreaker
+from .client import ClientResponse, SweepClient
+from .config import (
+    LADDER,
+    MODE_CACHED_ONLY,
+    MODE_DRAINING,
+    MODE_PARALLEL,
+    MODE_SERIAL,
+    ServiceConfig,
+)
+from .server import SweepServer, serve
+from .service import Response, SweepService
+from .supervisor import WorkerSupervisor
+
+__all__ = [
+    "CircuitBreaker",
+    "ClientResponse",
+    "LADDER",
+    "MODE_CACHED_ONLY",
+    "MODE_DRAINING",
+    "MODE_PARALLEL",
+    "MODE_SERIAL",
+    "Response",
+    "ServiceConfig",
+    "SweepClient",
+    "SweepServer",
+    "SweepService",
+    "WorkerSupervisor",
+    "serve",
+]

@@ -1,0 +1,177 @@
+"""The per-spec circuit breaker.
+
+Quarantines specs that fail repeatedly — a spec whose simulation
+deterministically fails (or whose worker keeps dying) would otherwise
+burn a worker slot on every duplicate submission.  Classic three-state
+breaker, keyed by spec fingerprint:
+
+- **closed** — failures below the threshold; submissions execute.
+- **open** — the spec hit ``threshold`` consecutive failures; new
+  submissions are refused (HTTP 503 + retry-after) until the cooldown
+  elapses.
+- **probe** (half-open) — after the cooldown, exactly one submission is
+  admitted; success closes the circuit, failure re-opens it for another
+  cooldown.
+
+State is persisted next to the journal (``<journal>.breaker.json``,
+written through :func:`repro.runstate.atomic.atomic_write_text`) so a
+quarantine survives server restarts — the chaos harness's "failing spec
+stays quarantined across a crash" invariant.
+
+The cooldown uses wall-clock time: quarantine is an operational
+mechanism (like the watchdog's deadline), not part of any simulated
+outcome, so it carries the same REP001 exemption.
+"""
+
+from __future__ import annotations
+
+import time  # repro: noqa REP001 — quarantine cooldowns are operational, like the watchdog
+from typing import Any, Callable, Optional
+
+from ..runstate.atomic import atomic_write_text
+from ..runstate.serialize import canonical_json
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_PROBE = "probe"
+
+Listener = Callable[..., None]
+"""Called as ``listener(event_name, **fields)`` on state transitions."""
+
+
+class CircuitBreaker:
+    """Per-spec failure tracking with persistence.
+
+    Args:
+        path: persisted state file (JSON; atomic rewrites).  ``None``
+            keeps the breaker in-memory only (tests).
+        threshold: consecutive failures that open a spec's circuit.
+        cooldown_seconds: quarantine period before a probe is admitted.
+        listener: transition callback — receives ``breaker.open`` /
+            ``breaker.probe`` / ``breaker.close`` with schema fields
+            (the service forwards these into its tracer).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str],
+        threshold: int,
+        cooldown_seconds: float,
+        listener: Optional[Listener] = None,
+    ) -> None:
+        self.path = path
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.listener = listener
+        # spec -> {"failures": int, "opened_at": float | None}
+        self._state: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+
+    def _notify(self, event: str, **fields: Any) -> None:
+        if self.listener is not None:
+            self.listener(event, **fields)
+
+    def _load(self) -> None:
+        if self.path is None:
+            return
+        import json
+        import os
+
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            # A torn/corrupt breaker file is recoverable state, not an
+            # error: start closed and re-learn.
+            return
+        if isinstance(raw, dict):
+            for spec, entry in raw.items():
+                if not isinstance(entry, dict):
+                    continue
+                try:
+                    failures = int(entry.get("failures", 0))
+                except (TypeError, ValueError):
+                    continue
+                opened_at = entry.get("opened_at")
+                self._state[str(spec)] = {
+                    "failures": failures,
+                    "opened_at": (
+                        float(opened_at) if opened_at is not None else None
+                    ),
+                }
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        atomic_write_text(self.path, canonical_json(self._state) + "\n")
+
+    # ------------------------------------------------------------------
+
+    def admit(self, spec: str) -> str:
+        """Admission decision for one submission of ``spec``.
+
+        Returns :data:`STATE_CLOSED` (execute normally),
+        :data:`STATE_PROBE` (execute as the half-open probe — the
+        cooldown clock restarts so a failed probe waits a full cooldown
+        again), or :data:`STATE_OPEN` (refuse).
+        """
+        entry = self._state.get(spec)
+        if entry is None or entry["opened_at"] is None:
+            return STATE_CLOSED
+        now = time.time()  # repro: noqa REP001 — operational cooldown clock
+        if now - entry["opened_at"] >= self.cooldown_seconds:
+            entry["opened_at"] = now
+            self._persist()
+            self._notify("breaker.probe", spec=spec)
+            return STATE_PROBE
+        return STATE_OPEN
+
+    def retry_after(self, spec: str) -> float:
+        """Seconds until the next probe would be admitted (0 if not
+        quarantined)."""
+        entry = self._state.get(spec)
+        if entry is None or entry["opened_at"] is None:
+            return 0.0
+        now = time.time()  # repro: noqa REP001 — operational cooldown clock
+        return max(0.0, self.cooldown_seconds - (now - entry["opened_at"]))
+
+    def is_open(self, spec: str) -> bool:
+        entry = self._state.get(spec)
+        return entry is not None and entry["opened_at"] is not None
+
+    def record_failure(self, spec: str) -> None:
+        """One more failure for ``spec``; opens the circuit at the
+        threshold (or immediately re-opens a probed circuit)."""
+        entry = self._state.setdefault(
+            spec, {"failures": 0, "opened_at": None}
+        )
+        entry["failures"] += 1
+        if entry["failures"] >= self.threshold:
+            was_open = entry["opened_at"] is not None
+            entry["opened_at"] = time.time()  # repro: noqa REP001 — operational cooldown clock
+            if not was_open:
+                self._notify(
+                    "breaker.open", spec=spec, failures=entry["failures"]
+                )
+        self._persist()
+
+    def record_success(self, spec: str) -> None:
+        """A successful execution closes (and forgets) the circuit."""
+        entry = self._state.pop(spec, None)
+        self._persist()
+        if entry is not None and entry["opened_at"] is not None:
+            self._notify("breaker.close", spec=spec)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-safe view for the status endpoint."""
+        return {
+            spec: {
+                "failures": entry["failures"],
+                "open": entry["opened_at"] is not None,
+            }
+            for spec, entry in sorted(self._state.items())
+        }

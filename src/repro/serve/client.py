@@ -1,0 +1,182 @@
+"""Blocking client for the sweep service (stdlib sockets, no deps).
+
+One connection per request (the server is ``Connection: close``);
+submissions block until the cell completes, so callers that want
+concurrency use threads — exactly what the chaos harness does to prove
+duplicate concurrent submissions dedupe to one execution.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import ServiceError
+
+
+@dataclass
+class ClientResponse:
+    """Status + parsed body + the exact bytes received (byte-identity
+    assertions compare ``raw``, never a re-serialization)."""
+
+    status: int
+    body: Any
+    raw: bytes
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class SweepClient:
+    """Talks to one ``repro serve`` instance over UDS or TCP.
+
+    Args:
+        socket_path: UNIX socket path (wins when set).
+        host, port: TCP fallback.
+        timeout: per-request socket timeout — generous by default, a
+            submission waits for a full cell simulation.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        timeout: float = 120.0,
+    ) -> None:
+        if socket_path is None and not host:
+            raise ServiceError("SweepClient needs a socket_path or host")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            return sock
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        return sock
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> ClientResponse:
+        """One HTTP exchange; raises OSError on transport failure."""
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: repro\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        sock = self._connect()
+        try:
+            sock.sendall(head + body)
+            # Read headers, then exactly Content-Length body bytes.
+            # Never read to EOF: worker processes forked while a
+            # connection is open inherit its fd, so the server closing
+            # its end does not guarantee an EOF at ours.
+            buffered = b""
+            while b"\r\n\r\n" not in buffered:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buffered += chunk
+            header_end = buffered.find(b"\r\n\r\n")
+            if header_end < 0:
+                raise ServiceError("malformed response from server")
+            head_text = buffered[:header_end].decode("latin-1")
+            response_body = buffered[header_end + 4:]
+            content_length = None
+            for line in head_text.split("\r\n")[1:]:
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        pass
+            if content_length is not None:
+                while len(response_body) < content_length:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    response_body += chunk
+                response_body = response_body[:content_length]
+        finally:
+            sock.close()
+        status_line, *header_lines = head_text.split("\r\n")
+        try:
+            status = int(status_line.split(" ", 2)[1])
+        except (IndexError, ValueError) as exc:
+            raise ServiceError(
+                f"malformed status line {status_line!r}"
+            ) from exc
+        retry_after = None
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "retry-after":
+                try:
+                    retry_after = float(value.strip())
+                except ValueError:
+                    pass
+        try:
+            parsed = json.loads(response_body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            parsed = None
+        return ClientResponse(
+            status=status, body=parsed, raw=response_body,
+            retry_after=retry_after,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience endpoints
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> bool:
+        try:
+            return self.request("GET", "/v1/healthz").ok
+        except (OSError, ServiceError):
+            return False
+
+    def submit(
+        self,
+        workload: str,
+        dataset: str,
+        policy: str = "base4k",
+        scenario: str = "fresh",
+    ) -> ClientResponse:
+        return self.request(
+            "POST", "/v1/submit",
+            {
+                "workload": workload,
+                "dataset": dataset,
+                "policy": policy,
+                "scenario": scenario,
+            },
+        )
+
+    def result(self, spec: str) -> ClientResponse:
+        return self.request("GET", f"/v1/result/{spec}")
+
+    def status(self) -> dict[str, Any]:
+        response = self.request("GET", "/v1/status")
+        if not response.ok or not isinstance(response.body, dict):
+            raise ServiceError(
+                f"status endpoint returned {response.status}"
+            )
+        return response.body
+
+    def drain(self) -> ClientResponse:
+        return self.request("POST", "/v1/drain")

@@ -1,0 +1,148 @@
+"""Configuration for the resilient sweep service.
+
+One frozen dataclass (the :class:`~repro.experiments.runconfig
+.RunConfig` discipline) holds every daemon knob: transport, worker
+pool sizing, admission control, circuit-breaker thresholds, worker
+supervision timing, and the execution policy handed to workers.
+Validation happens at construction so a nonsense service dies at
+startup, not under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..config import PROFILES
+from ..errors import ConfigError
+
+MODE_PARALLEL = "parallel"
+MODE_SERIAL = "serial"
+MODE_CACHED_ONLY = "cached-only"
+MODE_DRAINING = "draining"
+
+LADDER = (MODE_PARALLEL, MODE_SERIAL, MODE_CACHED_ONLY, MODE_DRAINING)
+"""The degradation ladder, best to worst.  Transitions are one-way:
+the service only ever moves right, driven by observed failure rates
+(see docs/service.md)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs, validated.
+
+    Attributes:
+        journal_path: the run journal backing the result store; the
+            service takes the journal's pidfile lock for its lifetime.
+        socket_path: UNIX-domain socket to listen on (preferred for
+            local use); mutually exclusive with ``host``/``port``.
+        host, port: TCP listen address, used when ``socket_path`` is
+            ``None``.
+        workers: initial worker-process count (clamped to CPUs via
+            :func:`repro.parallel.pool.resolve_workers`); the ladder's
+            ``parallel`` rung.  ``1`` starts on the ``serial`` rung.
+        queue_depth: admission bound — total in-flight (executing plus
+            queued) specs; submissions past it get a 429 + retry-after.
+        max_job_attempts: dispatches per job before a worker-crash loop
+            is surfaced as a failure (bounds redelivery).
+        breaker_threshold: consecutive failures of one spec before its
+            circuit opens (quarantine).
+        breaker_cooldown_seconds: quarantine period before one probe
+            submission is admitted again.
+        heartbeat_interval_seconds: worker heartbeat period.
+        heartbeat_timeout_seconds: heartbeat silence (while the process
+            is alive) treated as a wedged worker: killed and restarted.
+        restart_backoff_base_seconds / restart_backoff_max_seconds:
+            bounded exponential backoff between restarts of one worker
+            slot.
+        degrade_restart_threshold: worker restarts within
+            ``degrade_window_seconds`` that trigger one ladder step.
+        degrade_window_seconds: sliding window for the restart rate.
+        profile: machine profile simulated for every cell.
+        pagerank_iterations: PR iteration cap (cell identity).
+        retries / cell_budget / cell_cycles / cell_deadline_seconds:
+            the per-cell execution policy (cell identity where
+            applicable), mirroring the CLI flags.
+        chaos: optional chaos plan string (see :mod:`repro.chaos`);
+            deterministic process-level adversity for tests — never set
+            in production.
+    """
+
+    journal_path: str = field(default="")
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 7341
+    workers: int = 2
+    queue_depth: int = 8
+    max_job_attempts: int = 2
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 60.0
+    heartbeat_interval_seconds: float = 0.1
+    heartbeat_timeout_seconds: float = 5.0
+    restart_backoff_base_seconds: float = 0.1
+    restart_backoff_max_seconds: float = 5.0
+    degrade_restart_threshold: int = 3
+    degrade_window_seconds: float = 30.0
+    profile: str = "scaled"
+    pagerank_iterations: int = 3
+    retries: int = 2
+    cell_budget: Optional[int] = None
+    cell_cycles: Optional[int] = None
+    cell_deadline_seconds: Optional[float] = None
+    chaos: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.journal_path:
+            raise ConfigError("ServiceConfig requires a journal_path")
+        if self.profile not in PROFILES:
+            raise ConfigError(
+                f"unknown profile {self.profile!r}; known: "
+                + ", ".join(sorted(PROFILES))
+            )
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ConfigError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_job_attempts < 1:
+            raise ConfigError(
+                f"max_job_attempts must be >= 1, got {self.max_job_attempts}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        for name in (
+            "breaker_cooldown_seconds",
+            "heartbeat_interval_seconds",
+            "heartbeat_timeout_seconds",
+            "restart_backoff_base_seconds",
+            "restart_backoff_max_seconds",
+            "degrade_window_seconds",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.degrade_restart_threshold < 1:
+            raise ConfigError(
+                "degrade_restart_threshold must be >= 1, got "
+                f"{self.degrade_restart_threshold}"
+            )
+
+    @property
+    def initial_mode(self) -> str:
+        """The ladder rung the service starts on."""
+        return MODE_PARALLEL if self.workers > 1 else MODE_SERIAL
+
+    def worker_settings(self) -> dict[str, Any]:
+        """The picklable execution policy shipped to every worker."""
+        return {
+            "profile": self.profile,
+            "pagerank_iterations": self.pagerank_iterations,
+            "retries": self.retries,
+            "cell_budget": self.cell_budget,
+            "cell_cycles": self.cell_cycles,
+            "cell_deadline_seconds": self.cell_deadline_seconds,
+        }

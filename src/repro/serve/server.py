@@ -1,0 +1,213 @@
+"""Minimal HTTP/1.1 transport for the sweep service (stdlib only).
+
+``repro serve`` listens on a UNIX-domain socket (preferred — local,
+permission-scoped) or a loopback TCP port and speaks just enough
+HTTP for the client, the chaos harness and ``curl``:
+
+- ``POST /v1/submit`` — body ``{"workload", "dataset", "policy",
+  "scenario"}``; waits for the result.  200 with the canonical result
+  JSON, 400 bad spec, 429 queue full (``Retry-After``), 500 execution
+  error, 503 quarantined / cached-only / draining.
+- ``GET /v1/result/<spec>`` — cached results only; 200 or 404.
+- ``GET /v1/status`` — mode, counters, breaker and journal state, the
+  validated event tail.
+- ``POST /v1/drain`` — begin graceful shutdown (also SIGTERM/SIGINT).
+- ``GET /v1/healthz`` — liveness probe.
+
+Connections are one-request (``Connection: close``): submissions can
+block for a whole cell simulation, so clients hold one socket per
+request and the server never multiplexes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Optional
+
+from .config import ServiceConfig
+from .service import Response, SweepService
+
+_MAX_HEADER_BYTES = 16384
+_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _render_response(response: Response) -> bytes:
+    body = response.render()
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if response.retry_after is not None:
+        headers.append(f"Retry-After: {max(1, int(response.retry_after))}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[str, str, bytes]]:
+    """Parse one request → (method, path, body); None on EOF/garbage."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+        return None
+    if len(head) > _MAX_HEADER_BYTES:
+        return None
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, path, _version = request_line.split(" ", 2)
+    except ValueError:
+        return None
+    content_length = 0
+    for line in header_lines:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                return None
+    if content_length < 0 or content_length > _MAX_BODY_BYTES:
+        return None
+    body = b""
+    if content_length:
+        try:
+            body = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError:
+            return None
+    return method.upper(), path, body
+
+
+class SweepServer:
+    """Binds a :class:`SweepService` to a listening socket."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.service: Optional[SweepService] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        service = self.service
+        assert service is not None
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            response = await self._route(service, method, path, body)
+            writer.write(_render_response(response))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(
+        self, service: SweepService, method: str, path: str, body: bytes
+    ) -> Response:
+        if path == "/v1/healthz" and method == "GET":
+            return Response(status=200, body={"ok": True})
+        if path == "/v1/status" and method == "GET":
+            return Response(status=200, body=service.status())
+        if path == "/v1/drain" and method == "POST":
+            pending = len(service._inflight)
+            service.request_drain()
+            return Response(
+                status=202, body={"draining": True, "pending": pending}
+            )
+        if path.startswith("/v1/result/") and method == "GET":
+            spec = path[len("/v1/result/"):]
+            return service.lookup(spec)
+        if path == "/v1/submit" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8") or "{}")
+            except (ValueError, UnicodeDecodeError):
+                return Response(
+                    status=400, body={"error": "body must be JSON"}
+                )
+            if not isinstance(payload, dict):
+                return Response(
+                    status=400, body={"error": "body must be a JSON object"}
+                )
+            return await service.submit(payload)
+        if path in (
+            "/v1/healthz", "/v1/status", "/v1/drain", "/v1/submit"
+        ) or path.startswith("/v1/result/"):
+            return Response(status=405, body={"error": "method not allowed"})
+        return Response(status=404, body={"error": f"no route {path!r}"})
+
+    async def run(self) -> None:
+        """Start the service and serve until drained."""
+        loop = asyncio.get_running_loop()
+        self.service = SweepService(self.config, loop=loop)
+        self.service.start()
+        if self.config.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.config.socket_path
+            )
+            where = self.config.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.config.host, port=self.config.port
+            )
+            where = f"{self.config.host}:{self.config.port}"
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.service.request_drain
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(f"repro serve: listening on {where} "
+              f"(journal {self.config.journal_path}, "
+              f"mode {self.service.mode})", file=sys.stderr, flush=True)
+        try:
+            await self.service.drained.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self.service.stop()
+            print("repro serve: drained, exiting", file=sys.stderr,
+                  flush=True)
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point for ``repro serve``."""
+    asyncio.run(SweepServer(config).run())
+    return 0
+
+
+def status_summary(status: dict[str, Any]) -> str:
+    """One human line from a ``/v1/status`` payload (CLI helper)."""
+    journal = status.get("journal", {})
+    return (
+        f"mode={status.get('mode')} workers={status.get('workers')} "
+        f"inflight={status.get('inflight')} served={status.get('served')} "
+        f"journal(done={journal.get('done', 0)} "
+        f"failed={journal.get('failed', 0)} "
+        f"running={journal.get('running', 0)})"
+    )

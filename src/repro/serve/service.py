@@ -1,0 +1,484 @@
+"""The sweep service core: dedupe, admission, breaker, ladder.
+
+:class:`SweepService` is transport-agnostic — :mod:`repro.serve.server`
+wraps it in HTTP.  One service owns:
+
+- the **run journal** (pidfile-locked): the durable result store.
+  Completed specs are served straight from journal record payloads, so
+  a response is byte-identical before and after any crash/restart —
+  the chaos harness's core invariant.
+- the **in-flight table**: one entry per executing spec fingerprint.
+  Duplicate concurrent submissions attach as waiters to the same job
+  (``queue.dedup``), and one job writes exactly one ``running`` journal
+  record however many times a crashed worker forces redelivery —
+  exactly-once execution by construction.
+- **admission control**: at most ``queue_depth`` specs in flight;
+  beyond that submissions get :class:`~repro.errors.AdmissionError`
+  (HTTP 429) with a retry-after hint (``queue.reject``).
+- the **circuit breaker** (:mod:`repro.serve.breaker`): repeatedly
+  failing specs are quarantined across restarts (HTTP 503).
+- the **degradation ladder** ``parallel → serial → cached-only →
+  draining``: worker-restart bursts step the service down one rung
+  (``server.mode`` events); journal write errors (e.g. a full disk)
+  drop it straight to ``cached-only``, where cached results still
+  serve but nothing new executes.
+
+Threading: every mutation runs on the asyncio event loop.  Supervisor
+callbacks (monitor thread) are marshalled with
+``loop.call_soon_threadsafe``; the breaker and tracer are only touched
+from the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ReproError
+from ..obs.tracer import Tracer
+from ..runstate.journal import RunJournal, STATUS_DONE
+from ..runstate.serialize import canonical_json, decode_result
+from .breaker import CircuitBreaker, STATE_OPEN
+from .config import (
+    LADDER,
+    MODE_CACHED_ONLY,
+    MODE_DRAINING,
+    MODE_PARALLEL,
+    MODE_SERIAL,
+    ServiceConfig,
+)
+from .supervisor import WorkerSupervisor
+
+
+@dataclass
+class Response:
+    """Transport-agnostic outcome of one request."""
+
+    status: int
+    body: dict[str, Any] = field(default_factory=dict)
+    raw: Optional[str] = None
+    """Pre-rendered body (canonical JSON) — used for results so bytes
+    are identical across restarts; wins over ``body`` when set."""
+    retry_after: Optional[float] = None
+
+    def render(self) -> bytes:
+        if self.raw is not None:
+            return self.raw.encode("utf-8")
+        return (canonical_json(self.body) + "\n").encode("utf-8")
+
+
+class SweepService:
+    """See module docstring.  Construct inside a running event loop."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        self.config = config
+        self.loop = loop if loop is not None else asyncio.get_event_loop()
+        self._logical = 0
+        self.tracer = Tracer(clock=lambda: self._logical)
+
+        self._chaos = None
+        journal: RunJournal
+        if config.chaos:
+            from ..chaos.plan import ChaosPlan
+            from ..chaos.journal import ChaosJournal
+
+            self._chaos = ChaosPlan.parse(config.chaos)
+            journal = ChaosJournal(
+                config.journal_path, plan=self._chaos, lock=True
+            )
+        else:
+            journal = RunJournal(config.journal_path, lock=True)
+        self.journal = journal
+
+        self.breaker = CircuitBreaker(
+            path=config.journal_path + ".breaker.json",
+            threshold=config.breaker_threshold,
+            cooldown_seconds=config.breaker_cooldown_seconds,
+            listener=self._emit,
+        )
+
+        from ..config import get_profile
+        from ..experiments.harness import ExperimentRunner
+
+        # Fingerprints must match what a worker (or a CLI sweep with
+        # the same knobs) computes, so derive them through a real
+        # runner built from the same execution policy.
+        from ..experiments.runconfig import RunConfig
+
+        self._template = ExperimentRunner(
+            config=get_profile(config.profile),
+            run_config=RunConfig(
+                retries=config.retries,
+                cell_budget=config.cell_budget,
+                cell_cycles=config.cell_cycles,
+                cell_deadline_seconds=config.cell_deadline_seconds,
+            ),
+            pagerank_iterations=config.pagerank_iterations,
+        )
+
+        self.mode = config.initial_mode
+        self._inflight: dict[str, dict[str, Any]] = {}
+        self._restart_times: deque[float] = deque()
+        self.drained = asyncio.Event()
+        self._draining = False
+        self.served = 0
+
+        self.supervisor = WorkerSupervisor(
+            settings=config.worker_settings(),
+            workers=self._initial_workers(),
+            completion=self._completion_threadsafe,
+            listener=self._listener_threadsafe,
+            heartbeat_interval_seconds=config.heartbeat_interval_seconds,
+            heartbeat_timeout_seconds=config.heartbeat_timeout_seconds,
+            restart_backoff_base_seconds=config.restart_backoff_base_seconds,
+            restart_backoff_max_seconds=config.restart_backoff_max_seconds,
+            max_job_attempts=config.max_job_attempts,
+            dispatch_hook=self._dispatch_hook,
+        )
+
+    def _initial_workers(self) -> int:
+        from ..parallel.pool import resolve_workers
+
+        return resolve_workers(self.config.workers)
+
+    # ------------------------------------------------------------------
+    # Events (loop thread only)
+    # ------------------------------------------------------------------
+
+    def _emit(self, name: str, **fields: Any) -> None:
+        self._logical += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(name, **fields)
+
+    def _listener_threadsafe(self, name: str, **fields: Any) -> None:
+        self.loop.call_soon_threadsafe(self._on_worker_event, name, fields)
+
+    def _completion_threadsafe(
+        self, job_id: str, kind: str, payload: Any
+    ) -> None:
+        self.loop.call_soon_threadsafe(self._complete, job_id, kind, payload)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.supervisor.start()
+        self._emit(
+            "server.start", mode=self.mode,
+            workers=self._initial_workers(),
+        )
+
+    def stop(self) -> None:
+        self.supervisor.stop()
+        self._emit("server.stop", served=self.served)
+        self.journal.close()
+
+    def request_drain(self) -> None:
+        """Enter the ladder's final rung: finish in-flight work, refuse
+        new submissions, signal ``drained`` when the table empties."""
+        if self._draining:
+            return
+        self._draining = True
+        self._set_mode(MODE_DRAINING, reason="drain-requested")
+        self._emit("server.drain", pending=len(self._inflight))
+        if not self._inflight:
+            self.drained.set()
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+
+    def _set_mode(self, mode: str, reason: str) -> None:
+        if mode == self.mode:
+            return
+        # One-way ladder: never climb back up.
+        if LADDER.index(mode) < LADDER.index(self.mode):
+            return
+        previous = self.mode
+        self.mode = mode
+        self._emit(
+            "server.mode", from_mode=previous, to_mode=mode, reason=reason
+        )
+        if mode == MODE_SERIAL:
+            self.supervisor.set_workers(1)
+        elif mode in (MODE_CACHED_ONLY, MODE_DRAINING):
+            if mode == MODE_CACHED_ONLY:
+                self.supervisor.set_workers(0)
+                # Nothing will execute the queued work: fail the table.
+                for spec in list(self._inflight):
+                    self._resolve(
+                        spec,
+                        Response(
+                            status=503,
+                            body={
+                                "error": "degraded to cached-only; "
+                                "execution abandoned",
+                                "spec": spec,
+                            },
+                        ),
+                    )
+
+    def _on_worker_event(self, name: str, fields: dict[str, Any]) -> None:
+        self._emit(name, **fields)
+        if name != "worker.restart":
+            return
+        import time  # repro: noqa REP001 — failure-rate window is operational
+
+        now = time.monotonic()  # repro: noqa REP001 — failure-rate window is operational
+        window = self.config.degrade_window_seconds
+        self._restart_times.append(now)
+        while self._restart_times and now - self._restart_times[0] > window:
+            self._restart_times.popleft()
+        if len(self._restart_times) >= self.config.degrade_restart_threshold:
+            self._restart_times.clear()
+            if self.mode == MODE_PARALLEL:
+                self._set_mode(MODE_SERIAL, reason="worker-restart-rate")
+            elif self.mode == MODE_SERIAL:
+                self._set_mode(MODE_CACHED_ONLY, reason="worker-restart-rate")
+
+    # ------------------------------------------------------------------
+    # Requests (loop thread)
+    # ------------------------------------------------------------------
+
+    def _spec_for(
+        self, payload: dict[str, Any]
+    ) -> tuple[str, dict[str, str], dict[str, str]]:
+        """Validate a submission payload → (fingerprint, coords, task)."""
+        from ..experiments.parse import parse_policy, parse_scenario
+
+        try:
+            workload = str(payload["workload"])
+            dataset = str(payload["dataset"])
+            policy_spec = str(payload.get("policy", "base4k"))
+            scenario_spec = str(payload.get("scenario", "fresh"))
+        except (KeyError, TypeError) as exc:
+            raise ReproError(
+                "submission requires workload and dataset"
+            ) from exc
+        policy = parse_policy(policy_spec)
+        scenario = parse_scenario(scenario_spec)
+        spec = self._template.cell_spec(workload, dataset, policy, scenario)
+        coords = {
+            "workload": workload,
+            "dataset": dataset,
+            "policy": policy.name,
+            "scenario": scenario.name,
+        }
+        task = {
+            "workload": workload,
+            "dataset": dataset,
+            "policy": policy_spec,
+            "scenario": scenario_spec,
+        }
+        return spec, coords, task
+
+    def _result_response(self, record: Any) -> Response:
+        """The canonical (restart-stable) body for one journal record."""
+        self.served += 1
+        raw = canonical_json(
+            {
+                "result": record.payload,
+                "spec": record.spec,
+                "status": record.status,
+            }
+        ) + "\n"
+        return Response(status=200, raw=raw)
+
+    def lookup(self, spec: str) -> Response:
+        """``GET /v1/result/<spec>``: cached results only."""
+        record = self.journal.lookup(spec)
+        if record is None or record.status != STATUS_DONE:
+            return Response(
+                status=404, body={"error": "no completed result", "spec": spec}
+            )
+        self._emit("queue.cached", spec=spec)
+        return self._result_response(record)
+
+    async def submit(self, payload: dict[str, Any]) -> Response:
+        """``POST /v1/submit``: serve cached, dedupe, admit, execute."""
+        try:
+            spec, coords, task = self._spec_for(payload)
+        except ReproError as error:
+            return Response(status=400, body={"error": str(error)})
+
+        # 1. Completed work is always served, whatever the mode — the
+        #    journal payload is the byte-stable source of truth.
+        record = self.journal.lookup(spec)
+        if record is not None and record.status == STATUS_DONE:
+            self._emit("queue.cached", spec=spec)
+            return self._result_response(record)
+
+        # 2. In-flight dedupe: attach to the running job.
+        entry = self._inflight.get(spec)
+        if entry is not None:
+            entry["waiters"] += 1
+            self._emit("queue.dedup", spec=spec, waiters=entry["waiters"])
+            return await self._wait(entry)
+
+        # 3. Nothing new starts while draining.
+        if self.mode == MODE_DRAINING:
+            return Response(
+                status=503,
+                body={"error": "server is draining", "spec": spec},
+            )
+
+        # 4. Circuit breaker: quarantined specs are refused.
+        if self.breaker.admit(spec) == STATE_OPEN:
+            retry_after = self.breaker.retry_after(spec)
+            return Response(
+                status=503,
+                body={
+                    "error": "spec is quarantined by the circuit breaker",
+                    "spec": spec,
+                    "failures": self.breaker.snapshot()
+                    .get(spec, {})
+                    .get("failures", 0),
+                },
+                retry_after=retry_after,
+            )
+
+        # 5. Cached-only mode has no execution capacity.
+        if self.mode == MODE_CACHED_ONLY:
+            return Response(
+                status=503,
+                body={
+                    "error": "server is in cached-only mode; "
+                    "only completed specs are served",
+                    "spec": spec,
+                },
+            )
+
+        # 6. Backpressure: a bounded in-flight table.
+        depth = len(self._inflight)
+        if depth >= self.config.queue_depth:
+            retry_after = max(1.0, self.config.heartbeat_timeout_seconds)
+            self._emit(
+                "queue.reject", spec=spec, depth=depth,
+                retry_after=int(retry_after),
+            )
+            return Response(
+                status=429,
+                body={"error": "queue full", "spec": spec, "depth": depth},
+                retry_after=retry_after,
+            )
+
+        # 7. Start the job: exactly one `running` journal record per
+        #    deduplicated spec, written before dispatch.
+        try:
+            self.journal.begin(spec, coords)
+        except OSError as error:
+            # The results path is unwritable (e.g. disk full): degrade
+            # to cached-only rather than executing work we cannot
+            # record.
+            self._set_mode(MODE_CACHED_ONLY, reason="journal-error")
+            return Response(
+                status=503,
+                body={
+                    "error": f"journal write failed: {error}; "
+                    "degraded to cached-only",
+                    "spec": spec,
+                },
+            )
+        entry = {
+            "spec": spec,
+            "coords": coords,
+            "future": self.loop.create_future(),
+            "waiters": 1,
+        }
+        self._inflight[spec] = entry
+        self._emit(
+            "queue.enqueue", spec=spec, depth=len(self._inflight)
+        )
+        self.supervisor.submit(spec, task)
+        return await self._wait(entry)
+
+    async def _wait(self, entry: dict[str, Any]) -> Response:
+        return await asyncio.shield(entry["future"])
+
+    def _resolve(self, spec: str, response: Response) -> None:
+        entry = self._inflight.pop(spec, None)
+        if entry is None:
+            return
+        future = entry["future"]
+        if not future.done():
+            future.set_result(response)
+        if self._draining and not self._inflight:
+            self.drained.set()
+
+    def _dispatch_hook(self, task: dict[str, Any], ordinal: int) -> None:
+        """Chaos integration point (supervisor threads call this)."""
+        if self._chaos is not None and self._chaos.kill_worker_at(ordinal):
+            task["chaos_kill"] = True
+
+    def _complete(self, job_id: str, kind: str, payload: Any) -> None:
+        spec = job_id
+        entry = self._inflight.get(spec)
+        if entry is None:
+            return  # abandoned (e.g. degraded to cached-only mid-job)
+        coords = entry["coords"]
+        if kind == "done":
+            result = decode_result(payload)
+            try:
+                self.journal.record_result(spec, coords, result)
+            except OSError as error:
+                self._set_mode(MODE_CACHED_ONLY, reason="journal-error")
+                self._resolve(
+                    spec,
+                    Response(
+                        status=503,
+                        body={
+                            "error": f"result could not be journaled: "
+                            f"{error}",
+                            "spec": spec,
+                        },
+                    ),
+                )
+                return
+            if getattr(result, "ok", False):
+                self.breaker.record_success(spec)
+            else:
+                self.breaker.record_failure(spec)
+            record = self.journal.lookup(spec)
+            self._resolve(spec, self._result_response(record))
+            return
+        # Worker raised ("failed") or died repeatedly ("crashed"): the
+        # `running` journal record stays — resume semantics re-run it.
+        self.breaker.record_failure(spec)
+        self._resolve(
+            spec,
+            Response(
+                status=500,
+                body={"error": str(payload), "kind": kind, "spec": spec},
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        from ..obs.events import validate_events
+
+        events = self.tracer.events
+        tail = events[-50:]
+        return {
+            "mode": self.mode,
+            "pid": os.getpid(),
+            "workers": self.supervisor.worker_count,
+            "inflight": len(self._inflight),
+            "served": self.served,
+            "journal": self.journal.counts(),
+            "breaker": self.breaker.snapshot(),
+            "metrics": self.tracer.metrics.snapshot(),
+            "events": tail,
+            "schema_problems": validate_events(events),
+        }

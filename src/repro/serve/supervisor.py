@@ -1,0 +1,369 @@
+"""Worker supervision: heartbeats, bounded-backoff restarts, redelivery.
+
+The supervision tree under ``repro serve``:
+
+- N **worker processes** pull job dicts from one shared task queue
+  (work stealing, like :mod:`repro.parallel.pool`), simulate the cell,
+  and return the encoded result.  Each worker runs a daemon heartbeat
+  thread that beats on the result queue every
+  ``heartbeat_interval_seconds`` — the GIL schedules it even while the
+  main thread simulates, so only a *wedged or dead* process goes
+  silent.
+- One **monitor thread** in the server process drains the result
+  queue, tracks per-slot heartbeats and process liveness, SIGKILLs
+  wedged workers, respawns dead slots with bounded exponential backoff
+  (base, 2x, 4x, ... capped), and redelivers the in-flight job of a
+  dead worker up to ``max_job_attempts`` dispatches before surfacing a
+  crash failure.
+
+Job identity vs cell identity: a *job* is one service-level execution
+decision (one ``job_id``, one journal ``begin``); redelivery after a
+worker crash is the *same* job and writes nothing new to the journal —
+that is what makes duplicate-submission accounting exactly-once.
+
+All timing here is operational wall clock (the pool/watchdog REP001
+exemption).  Events are reported through a listener callback; the
+service owns the tracer.
+
+Cells arrive as plain strings (policy/scenario specs parsed in-worker
+via :mod:`repro.experiments.parse`), so tasks pickle cleanly under
+``fork`` and ``spawn`` alike.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+import time  # repro: noqa REP001 — supervision deadlines are operational, like the pool
+from typing import Any, Callable, Optional
+
+_POLL_SECONDS = 0.1
+"""Monitor poll interval for the result queue."""
+
+CompletionFn = Callable[[str, str, Any], None]
+"""``completion(job_id, kind, payload)`` with kind ``done`` (payload is
+the encoded result), ``failed`` (payload is an error message string —
+the worker raised), or ``crashed`` (redelivery exhausted)."""
+
+Listener = Callable[..., None]
+"""``listener(event_name, **fields)`` for worker lifecycle events."""
+
+DispatchHook = Callable[[dict, int], None]
+"""``hook(task, dispatch_ordinal)`` called before every dispatch
+(including redeliveries); chaos plans use it to tag tasks."""
+
+
+def _worker_main(
+    slot: int,
+    settings: dict[str, Any],
+    tasks: "multiprocessing.Queue",
+    results: "multiprocessing.Queue",
+    heartbeat_interval: float,
+) -> None:
+    """Worker loop: heartbeat thread + steal/simulate/report."""
+    pid = os.getpid()
+    parent = os.getppid()
+
+    def beat() -> None:
+        while True:
+            if os.getppid() != parent:
+                # The server was SIGKILLed (no atexit ran): don't linger
+                # as an orphan blocked on the task queue forever.
+                os._exit(0)
+            try:
+                results.put(("hb", slot, pid, None, None))
+            except Exception:
+                return
+            time.sleep(heartbeat_interval)  # repro: noqa REP001 — heartbeat pacing
+
+    threading.Thread(target=beat, daemon=True).start()
+
+    from ..config import get_profile
+    from ..experiments.harness import ExperimentRunner
+    from ..experiments.parse import parse_policy, parse_scenario
+    from ..experiments.runconfig import RunConfig
+    from ..runstate.serialize import encode_result
+
+    runner = ExperimentRunner(
+        config=get_profile(settings["profile"]),
+        run_config=RunConfig(
+            retries=settings["retries"],
+            cell_budget=settings["cell_budget"],
+            cell_cycles=settings["cell_cycles"],
+            cell_deadline_seconds=settings["cell_deadline_seconds"],
+        ),
+        pagerank_iterations=settings["pagerank_iterations"],
+    )
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            results.put(("exit", slot, pid, None, None))
+            return
+        job_id = task["job_id"]
+        results.put(("start", slot, pid, job_id, None))
+        if task.get("chaos_kill"):
+            # Deterministic chaos: die mid-cell, exactly like a real
+            # SIGKILL'd worker.  The short sleep lets the queue feeder
+            # flush the "start" message first.
+            time.sleep(0.2)  # repro: noqa REP001 — chaos choreography
+            os.kill(pid, signal.SIGKILL)
+        try:
+            policy = parse_policy(task["policy"])
+            scenario = parse_scenario(task["scenario"])
+            outcome = runner._execute_cell(
+                task["workload"], task["dataset"], policy, scenario
+            )
+            payload = encode_result(outcome)
+        except BaseException as error:
+            results.put(
+                ("failed", slot, pid, job_id,
+                 f"{type(error).__name__}: {error}")
+            )
+        else:
+            results.put(("done", slot, pid, job_id, payload))
+
+
+class WorkerSupervisor:
+    """Supervises the worker pool for one :class:`SweepService`.
+
+    Thread/process topology: ``start()`` spawns the workers and the
+    monitor thread; ``submit()`` may be called from any thread;
+    ``completion``/``listener`` callbacks fire on the monitor thread
+    (the service marshals them onto its event loop).
+    """
+
+    def __init__(
+        self,
+        settings: dict[str, Any],
+        workers: int,
+        completion: CompletionFn,
+        listener: Listener,
+        heartbeat_interval_seconds: float = 0.1,
+        heartbeat_timeout_seconds: float = 5.0,
+        restart_backoff_base_seconds: float = 0.1,
+        restart_backoff_max_seconds: float = 5.0,
+        max_job_attempts: int = 2,
+        dispatch_hook: Optional[DispatchHook] = None,
+    ) -> None:
+        self.settings = settings
+        self.completion = completion
+        self.listener = listener
+        self.heartbeat_interval = heartbeat_interval_seconds
+        self.heartbeat_timeout = heartbeat_timeout_seconds
+        self.backoff_base = restart_backoff_base_seconds
+        self.backoff_max = restart_backoff_max_seconds
+        self.max_job_attempts = max_job_attempts
+        self.dispatch_hook = dispatch_hook
+
+        self._target_workers = max(0, workers)
+        self._mp = multiprocessing.get_context()
+        self._tasks: "multiprocessing.Queue" = self._mp.Queue()
+        self._results: "multiprocessing.Queue" = self._mp.Queue()
+        self._lock = threading.Lock()
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._last_hb: dict[int, float] = {}
+        self._in_flight: dict[int, str] = {}  # slot -> job_id
+        self._jobs: dict[str, dict[str, Any]] = {}  # job_id -> task
+        self._attempts: dict[str, int] = {}
+        self._restarts: dict[int, int] = {}  # slot -> restart count
+        self._respawn_at: dict[int, float] = {}  # slot -> deadline
+        self._next_slot = 0
+        self._dispatches = 0
+        self._stopping = False
+        self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            for _ in range(self._target_workers):
+                self._spawn_slot()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, daemon=True, name="repro-supervisor"
+        )
+        self._monitor.start()
+
+    def stop(self) -> None:
+        """Poison-pill every worker and stop the monitor."""
+        self._stopping = True
+        with self._lock:
+            procs = list(self._procs.values())
+            for _ in procs:
+                self._tasks.put(None)
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        self._tasks.cancel_join_thread()
+        self._results.cancel_join_thread()
+        self._tasks.close()
+        self._results.close()
+
+    def set_workers(self, target: int) -> None:
+        """Resize the pool (degradation ladder): grow by spawning,
+        shrink by poison pills consumed by idle workers."""
+        target = max(0, target)
+        with self._lock:
+            current = self._target_workers
+            self._target_workers = target
+            if target > current:
+                for _ in range(target - current):
+                    self._spawn_slot()
+            else:
+                for _ in range(current - target):
+                    self._tasks.put(None)
+
+    @property
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._procs)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(self, job_id: str, task: dict[str, Any]) -> None:
+        """Queue one job for execution (work stealing picks the worker)."""
+        task = dict(task)
+        task["job_id"] = job_id
+        with self._lock:
+            self._jobs[job_id] = task
+            self._attempts[job_id] = 0
+            self._dispatch(task)
+
+    def _dispatch(self, task: dict[str, Any]) -> None:
+        """Put one task on the queue (lock held)."""
+        job_id = task["job_id"]
+        self._attempts[job_id] += 1
+        self._dispatches += 1
+        task = dict(task)
+        if self.dispatch_hook is not None:
+            self.dispatch_hook(task, self._dispatches)
+        self._tasks.put(task)
+
+    # ------------------------------------------------------------------
+    # Worker processes
+    # ------------------------------------------------------------------
+
+    def _spawn_slot(self) -> None:
+        """Start one worker (lock held)."""
+        slot = self._next_slot
+        self._next_slot += 1
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(
+                slot, self.settings, self._tasks, self._results,
+                self.heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        self._procs[slot] = proc
+        proc.start()
+        self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
+        self.listener("worker.spawn", slot=slot, pid=proc.pid or 0)
+
+    def _reap_slot(self, slot: int, clean: bool) -> None:
+        """Handle one dead/killed worker (lock held): report, redeliver
+        its in-flight job, schedule a backoff respawn."""
+        proc = self._procs.pop(slot, None)
+        pid = (proc.pid or 0) if proc is not None else 0
+        self._last_hb.pop(slot, None)
+        self.listener("worker.exit", slot=slot, pid=pid, clean=int(clean))
+        job_id = self._in_flight.pop(slot, None)
+        if job_id is not None and job_id in self._jobs:
+            if self._attempts.get(job_id, 0) >= self.max_job_attempts:
+                task = self._jobs.pop(job_id)
+                self._attempts.pop(job_id, None)
+                self.completion(
+                    job_id, "crashed",
+                    f"worker died {self.max_job_attempts} time(s) "
+                    f"executing {task['workload']}/{task['dataset']}",
+                )
+            else:
+                # Redeliver: same job, same journal begin — the crash
+                # consumed an attempt, not the job's identity.
+                self._dispatch(self._jobs[job_id])
+        if clean or self._stopping:
+            return
+        if len(self._procs) + len(self._respawn_at) < self._target_workers:
+            restarts = self._restarts.get(slot, 0) + 1
+            self._restarts[slot] = restarts
+            backoff = min(
+                self.backoff_base * (2 ** (restarts - 1)), self.backoff_max
+            )
+            now = time.monotonic()  # repro: noqa REP001 — supervision clock
+            self._respawn_at[slot] = now + backoff
+            self.listener(
+                "worker.restart", slot=slot,
+                backoff_ms=int(backoff * 1000),
+            )
+
+    # ------------------------------------------------------------------
+    # Monitor
+    # ------------------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping:
+            try:
+                kind, slot, pid, job_id, payload = self._results.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue.Empty:
+                self._sweep()
+                continue
+            except (OSError, ValueError):
+                return  # queue closed during shutdown
+            if kind == "hb":
+                self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
+                continue
+            with self._lock:
+                if kind == "start":
+                    self._in_flight[slot] = job_id
+                    self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
+                    continue
+                if kind == "exit":
+                    self._reap_slot(slot, clean=True)
+                    continue
+                # done / failed
+                self._in_flight.pop(slot, None)
+                self._jobs.pop(job_id, None)
+                self._attempts.pop(job_id, None)
+                self._restarts.pop(slot, None)  # a result proves health
+            if kind in ("done", "failed"):
+                self.completion(job_id, kind, payload)
+
+    def _sweep(self) -> None:
+        """Idle-poll bookkeeping: dead workers, silent workers, due
+        respawns."""
+        now = time.monotonic()  # repro: noqa REP001 — supervision clock
+        with self._lock:
+            for slot, proc in list(self._procs.items()):
+                if not proc.is_alive():
+                    self._reap_slot(slot, clean=False)
+                    continue
+                last = self._last_hb.get(slot, now)
+                if now - last > self.heartbeat_timeout:
+                    # Alive but silent: wedged beyond doubt (the
+                    # heartbeat thread beats through the GIL even while
+                    # the main thread simulates).  Kill and recover.
+                    self.listener(
+                        "worker.heartbeat_lost", slot=slot,
+                        age_ms=int((now - last) * 1000),
+                    )
+                    proc.kill()
+                    proc.join(timeout=2.0)
+                    self._reap_slot(slot, clean=False)
+            for slot, deadline in list(self._respawn_at.items()):
+                if now >= deadline:
+                    del self._respawn_at[slot]
+                    if len(self._procs) < self._target_workers:
+                        self._spawn_slot()

@@ -33,6 +33,17 @@ fork_only = pytest.mark.skipif(
 )
 
 
+@pytest.fixture
+def many_cpus(monkeypatch):
+    """Pretend the host has plenty of CPUs.
+
+    ``resolve_workers`` clamps to ``os.cpu_count()`` (the 1-CPU 0.82x
+    regression guard), which on a small CI host would silently reroute
+    every ``workers=N`` test through the serial path.  These tests are
+    *about* the pool, so lift the ceiling."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
 def run_fig07(runner: ExperimentRunner):
     return fig07_pressure_alloc_order(
         runner, workloads=WORKLOADS, datasets=DATASETS
@@ -52,13 +63,22 @@ class TestResolveWorkers:
     def test_zero_means_one_per_cpu(self):
         assert resolve_workers(0) == (os.cpu_count() or 1)
 
-    def test_negative_clamps_to_serial(self):
+    def test_negative_clamps_to_serial(self, many_cpus):
         assert resolve_workers(-3) == 1
 
-    def test_positive_passes_through(self):
+    def test_positive_passes_through_below_cpu_count(self, many_cpus):
         assert resolve_workers(4) == 4
 
+    def test_clamped_to_available_cpus(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert resolve_workers(8) == 2
 
+    def test_one_cpu_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers(4) == 1
+
+
+@pytest.mark.usefixtures("many_cpus")
 class TestSerialParallelEquivalence:
     @pytest.fixture(scope="class")
     def reference(self, tmp_path_factory):
@@ -166,6 +186,7 @@ class TestSerialParallelEquivalence:
         assert all(getattr(r, "ok", True) for r in results)
 
 
+@pytest.mark.usefixtures("many_cpus")
 class TestRunCellsSemantics:
     def test_duplicate_cells_execute_once(self):
         cell = ("bfs", "test-small", POLICIES["base4k"], fresh())
@@ -205,6 +226,7 @@ class TestRunCellsSemantics:
 
 
 @fork_only
+@pytest.mark.usefixtures("many_cpus")
 class TestPoolAdversity:
     def test_hung_worker_absorbed_as_watchdog_failure(self, monkeypatch):
         """A wedged worker is terminated by the parent, its cell

@@ -1,0 +1,412 @@
+"""Tests for repro.serve: config validation, the circuit breaker,
+response rendering, and the service's dedupe/admission/ladder behavior.
+
+Service-level tests run the real :class:`SweepService` (worker
+processes and all) inside ``asyncio.run`` — no HTTP, so they stay fast
+— plus one end-to-end round trip through a real ``repro serve``
+subprocess over a UNIX socket.  Process-level adversity (SIGKILLs, torn
+appends) lives in test_chaos_recovery.py.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.errors import ChaosError, ConfigError
+from repro.runstate.journal import scan_records
+from repro.serve import (
+    CircuitBreaker,
+    MODE_CACHED_ONLY,
+    MODE_DRAINING,
+    MODE_PARALLEL,
+    MODE_SERIAL,
+    Response,
+    ServiceConfig,
+    SweepService,
+)
+from repro.serve.breaker import STATE_CLOSED, STATE_OPEN, STATE_PROBE
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="service workers need fork/spawn"
+)
+
+
+def make_config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        journal_path=str(tmp_path / "run.jsonl"),
+        workers=1,
+        profile="tiny",
+        restart_backoff_base_seconds=0.05,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def run_service(tmp_path, body, **overrides):
+    """Run ``await body(service)`` against a started service."""
+
+    async def main():
+        service = SweepService(make_config(tmp_path, **overrides))
+        service.start()
+        try:
+            return await body(service)
+        finally:
+            service.request_drain()
+            service.stop()
+
+    return asyncio.run(main())
+
+
+SUBMIT = {"workload": "bfs", "dataset": "test-small"}
+
+
+# ----------------------------------------------------------------------
+# Config
+# ----------------------------------------------------------------------
+
+
+class TestServiceConfig:
+    def test_requires_journal(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(journal_path="")
+
+    def test_rejects_bad_values(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        for bad in (
+            dict(workers=0),
+            dict(queue_depth=0),
+            dict(max_job_attempts=0),
+            dict(breaker_threshold=0),
+            dict(breaker_cooldown_seconds=0),
+            dict(heartbeat_interval_seconds=-1),
+            dict(degrade_restart_threshold=0),
+            dict(profile="no-such-profile"),
+        ):
+            with pytest.raises(ConfigError):
+                ServiceConfig(journal_path=journal, **bad)
+
+    def test_initial_mode_follows_workers(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        assert (
+            ServiceConfig(journal_path=journal, workers=2).initial_mode
+            == MODE_PARALLEL
+        )
+        assert (
+            ServiceConfig(journal_path=journal, workers=1).initial_mode
+            == MODE_SERIAL
+        )
+
+    def test_worker_settings_are_plain_data(self, tmp_path):
+        import pickle
+
+        settings = ServiceConfig(
+            journal_path=str(tmp_path / "run.jsonl")
+        ).worker_settings()
+        assert pickle.loads(pickle.dumps(settings)) == settings
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        events = []
+        breaker = CircuitBreaker(
+            path=None, threshold=2, cooldown_seconds=60,
+            listener=lambda name, **f: events.append((name, f)),
+        )
+        assert breaker.admit("s1") == STATE_CLOSED
+        breaker.record_failure("s1")
+        assert breaker.admit("s1") == STATE_CLOSED
+        breaker.record_failure("s1")
+        assert breaker.admit("s1") == STATE_OPEN
+        assert breaker.retry_after("s1") > 0
+        assert events == [("breaker.open", {"spec": "s1", "failures": 2})]
+
+    def test_cooldown_admits_probe_then_reopens_or_closes(self):
+        events = []
+        breaker = CircuitBreaker(
+            path=None, threshold=1, cooldown_seconds=0.05,
+            listener=lambda name, **f: events.append(name),
+        )
+        breaker.record_failure("s1")
+        assert breaker.admit("s1") == STATE_OPEN
+        time.sleep(0.06)
+        assert breaker.admit("s1") == STATE_PROBE
+        # A failed probe waits out a whole new cooldown.
+        breaker.record_failure("s1")
+        assert breaker.admit("s1") == STATE_OPEN
+        time.sleep(0.06)
+        assert breaker.admit("s1") == STATE_PROBE
+        breaker.record_success("s1")
+        assert breaker.admit("s1") == STATE_CLOSED
+        assert events == [
+            "breaker.open", "breaker.probe", "breaker.probe",
+            "breaker.close",
+        ]
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(path=None, threshold=3, cooldown_seconds=60)
+        breaker.record_failure("s1")
+        breaker.record_failure("s1")
+        breaker.record_success("s1")
+        breaker.record_failure("s1")
+        assert breaker.admit("s1") == STATE_CLOSED
+
+    def test_state_persists_across_instances(self, tmp_path):
+        path = str(tmp_path / "breaker.json")
+        first = CircuitBreaker(path=path, threshold=1, cooldown_seconds=3600)
+        first.record_failure("s1")
+        assert first.is_open("s1")
+        second = CircuitBreaker(path=path, threshold=1, cooldown_seconds=3600)
+        assert second.is_open("s1")
+        assert second.admit("s1") == STATE_OPEN
+        assert second.snapshot()["s1"]["open"] is True
+
+    def test_corrupt_state_file_starts_closed(self, tmp_path):
+        path = str(tmp_path / "breaker.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        breaker = CircuitBreaker(path=path, threshold=1, cooldown_seconds=60)
+        assert breaker.admit("anything") == STATE_CLOSED
+
+
+# ----------------------------------------------------------------------
+# Response rendering
+# ----------------------------------------------------------------------
+
+
+class TestResponse:
+    def test_body_renders_canonical_json(self):
+        rendered = Response(status=200, body={"b": 1, "a": 2}).render()
+        assert rendered == b'{"a":2,"b":1}\n'
+
+    def test_raw_wins_over_body(self):
+        rendered = Response(
+            status=200, body={"ignored": True}, raw='{"x":1}\n'
+        ).render()
+        assert rendered == b'{"x":1}\n'
+
+
+# ----------------------------------------------------------------------
+# Service behavior (in-process, real worker processes)
+# ----------------------------------------------------------------------
+
+
+class TestServiceDedupe:
+    def test_duplicates_execute_once_and_share_bytes(self, tmp_path):
+        async def body(service):
+            responses = await asyncio.gather(
+                *(service.submit(dict(SUBMIT)) for _ in range(3))
+            )
+            return responses
+
+        responses = run_service(tmp_path, body)
+        assert [response.status for response in responses] == [200] * 3
+        raws = {response.render() for response in responses}
+        assert len(raws) == 1
+        journal = str(tmp_path / "run.jsonl")
+        running = [
+            record for record in scan_records(journal)
+            if record.status == "running"
+        ]
+        assert len(running) == 1, "duplicates must execute exactly once"
+
+    def test_completed_specs_served_from_cache(self, tmp_path):
+        async def body(service):
+            first = await service.submit(dict(SUBMIT))
+            second = await service.submit(dict(SUBMIT))
+            return first, second, service.served
+
+        first, second, served = run_service(tmp_path, body)
+        assert first.render() == second.render()
+        assert served == 2
+        # The second submission hit the journal cache, not a worker.
+
+    def test_cache_survives_restart_byte_identically(self, tmp_path):
+        async def body(service):
+            return await service.submit(dict(SUBMIT))
+
+        first = run_service(tmp_path, body)
+
+        async def body2(service):
+            return await service.submit(dict(SUBMIT))
+
+        second = run_service(tmp_path, body2)
+        assert first.status == second.status == 200
+        assert first.render() == second.render()
+
+    def test_bad_submission_is_400(self, tmp_path):
+        async def body(service):
+            return (
+                await service.submit({}),
+                await service.submit({"workload": "bfs", "dataset": "x",
+                                      "policy": "no-such-policy"}),
+            )
+
+        missing, bad_policy = run_service(tmp_path, body)
+        assert missing.status == 400
+        assert bad_policy.status == 400
+
+
+class TestServiceAdmission:
+    def test_queue_full_rejects_with_retry_after(self, tmp_path):
+        # Deterministically occupy the only admission slot (a real cell
+        # can finish faster than any sleep we could race against).
+        async def body(service):
+            service._inflight["occupied"] = {
+                "spec": "occupied",
+                "coords": {},
+                "future": service.loop.create_future(),
+                "waiters": 1,
+            }
+            rejected = await service.submit(dict(SUBMIT))
+            service._resolve(
+                "occupied", Response(status=500, body={"error": "test"})
+            )
+            return rejected, list(service.tracer.events)
+
+        rejected, events = run_service(tmp_path, body, queue_depth=1)
+        assert rejected.status == 429
+        assert rejected.retry_after is not None and rejected.retry_after >= 1
+        assert any(e["name"] == "queue.reject" for e in events)
+
+    def test_draining_refuses_new_work(self, tmp_path):
+        async def body(service):
+            service.request_drain()
+            assert service.drained.is_set()
+            return await service.submit(dict(SUBMIT))
+
+        response = run_service(tmp_path, body)
+        assert response.status == 503
+        assert "draining" in response.body["error"]
+
+    def test_journal_error_degrades_to_cached_only(self, tmp_path):
+        # enospc at the very first append: begin() fails, the ladder
+        # drops straight to cached-only, nothing executes.
+        async def body(service):
+            first = await service.submit(dict(SUBMIT))
+            second = await service.submit(
+                {"workload": "pagerank", "dataset": "test-small"}
+            )
+            return first, second, service.mode, list(service.tracer.events)
+
+        first, second, mode, events = run_service(
+            tmp_path, body, chaos="enospc:append:1"
+        )
+        assert first.status == 503
+        assert second.status == 503
+        assert mode == MODE_CACHED_ONLY
+        transitions = [e for e in events if e["name"] == "server.mode"]
+        assert any(
+            e["to_mode"] == MODE_CACHED_ONLY and e["reason"] == "journal-error"
+            for e in transitions
+        )
+
+    def test_failing_spec_gets_quarantined(self, tmp_path):
+        # cell_budget=1 makes every execution fail; threshold 2 opens
+        # the breaker; the third submission is refused with retry-after.
+        async def body(service):
+            outcomes = []
+            for _ in range(3):
+                outcomes.append(await service.submit(dict(SUBMIT)))
+            return outcomes, list(service.tracer.events)
+
+        outcomes, events = run_service(
+            tmp_path, body, cell_budget=1, breaker_threshold=2,
+            breaker_cooldown_seconds=3600,
+        )
+        assert outcomes[0].status == 200  # failure is a recorded outcome
+        assert outcomes[1].status == 200
+        assert outcomes[2].status == 503
+        assert outcomes[2].retry_after is not None
+        assert any(e["name"] == "breaker.open" for e in events)
+
+    def test_mode_ladder_is_one_way(self, tmp_path):
+        async def body(service):
+            service._set_mode(MODE_SERIAL, reason="test")
+            service._set_mode(MODE_PARALLEL, reason="test")  # ignored
+            assert service.mode == MODE_SERIAL
+            service._set_mode(MODE_DRAINING, reason="test")
+            service._set_mode(MODE_CACHED_ONLY, reason="test")  # ignored
+            return service.mode
+
+        assert run_service(tmp_path, body, workers=2) == MODE_DRAINING
+
+
+class TestServiceEvents:
+    def test_events_are_schema_valid(self, tmp_path):
+        async def body(service):
+            await service.submit(dict(SUBMIT))
+            await service.submit(dict(SUBMIT))
+            return service.status()
+
+        status = run_service(tmp_path, body)
+        assert status["schema_problems"] == []
+        names = [event["name"] for event in status["events"]]
+        assert "server.start" in names
+        assert "queue.enqueue" in names
+        assert "queue.cached" in names
+
+    def test_status_shape(self, tmp_path):
+        async def body(service):
+            await service.submit(dict(SUBMIT))
+            return service.status()
+
+        status = run_service(tmp_path, body)
+        assert status["mode"] in (MODE_SERIAL, MODE_PARALLEL)
+        assert status["journal"]["done"] == 1
+        assert status["served"] == 1
+        assert status["inflight"] == 0
+        assert isinstance(status["breaker"], dict)
+        assert status["metrics"]["counters"]["event.server.start"] == 1
+
+
+# ----------------------------------------------------------------------
+# End to end over a real socket
+# ----------------------------------------------------------------------
+
+
+class TestServerRoundTrip:
+    def test_submit_cache_status_drain(self, tmp_path):
+        from repro.chaos.harness import ChaosServer
+
+        server = ChaosServer(
+            str(tmp_path), options={"workers": 1, "profile": "tiny"}
+        )
+        try:
+            server.start()
+            client = server.client()
+            first = client.submit("bfs", "test-small")
+            assert first.ok, first.body
+            spec = first.body["spec"]
+            again = client.submit("bfs", "test-small")
+            assert again.raw == first.raw
+            looked = client.result(spec)
+            assert looked.raw == first.raw
+            missing = client.result("0" * 16)
+            assert missing.status == 404
+            status = client.status()
+            assert status["served"] == 3
+            assert status["schema_problems"] == []
+            drained = client.drain()
+            assert drained.status == 202
+            assert server.wait_exit() == 0
+        finally:
+            server.kill()
+
+    def test_startup_failure_reports_stderr(self, tmp_path):
+        from repro.chaos.harness import ChaosServer
+
+        server = ChaosServer(
+            str(tmp_path),
+            options={"workers": 1, "profile": "no-such-profile"},
+        )
+        with pytest.raises(ChaosError, match="died during startup"):
+            server.start(timeout=15)

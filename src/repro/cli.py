@@ -543,17 +543,34 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 def _cmd_runs(args: argparse.Namespace) -> int:
     import json as json_module
 
+    from .errors import JournalLockedError
     from .runstate.journal import RunJournal
-    from .runstate.lock import live_holder
+    from .runstate.lock import PidLock
 
     if args.action == "gc":
-        holder = live_holder(args.journal)
-        if holder is not None:
+        # Hold the pidfile lock for the whole compaction, not just a
+        # liveness check: a sweep or server starting between a check
+        # and the atomic rewrite could append records the rewrite
+        # would silently discard.
+        lock = PidLock(args.journal)
+        try:
+            lock.acquire()
+        except JournalLockedError as error:
             raise ReproError(
-                f"refusing to gc {args.journal!r}: journal is owned by "
-                f"live process {holder} (a running sweep or server); "
-                "stop it first or wait for it to finish"
-            )
+                f"refusing to gc {args.journal!r}: a running sweep or "
+                f"server owns the journal ({error}); stop it first or "
+                "wait for it to finish"
+            ) from error
+        try:
+            journal = RunJournal(args.journal)
+            kept, dropped = journal.gc()
+        finally:
+            lock.release()
+        print(
+            f"{args.journal}: kept {kept} completed cell(s), "
+            f"dropped {dropped} superseded/failed/in-flight record(s)"
+        )
+        return 0
     journal = RunJournal(args.journal)
     if args.action == "list":
         counts = journal.counts()
@@ -586,12 +603,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         for record in records:
             print(json_module.dumps(record.to_dict(), indent=2))
         return 0
-    kept, dropped = journal.gc()
-    print(
-        f"{args.journal}: kept {kept} completed cell(s), "
-        f"dropped {dropped} superseded/failed/in-flight record(s)"
-    )
-    return 0
+    raise ReproError(f"unknown runs action {args.action!r}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

@@ -133,8 +133,16 @@ class ServiceConfig:
 
     @property
     def initial_mode(self) -> str:
-        """The ladder rung the service starts on."""
-        return MODE_PARALLEL if self.workers > 1 else MODE_SERIAL
+        """The ladder rung the service starts on, derived from the
+        *effective* worker count (the raw ``workers`` knob clamped to
+        available CPUs): a 1-CPU host with the default ``workers=2``
+        runs one worker and must start on the ``serial`` rung."""
+        from ..parallel.pool import resolve_workers
+
+        return (
+            MODE_PARALLEL if resolve_workers(self.workers) > 1
+            else MODE_SERIAL
+        )
 
     def worker_settings(self) -> dict[str, Any]:
         """The picklable execution policy shipped to every worker."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import sys
 from typing import Any, Optional
@@ -166,6 +167,14 @@ class SweepServer:
         self.service = SweepService(self.config, loop=loop)
         self.service.start()
         if self.config.socket_path:
+            # The service just took the journal's pidfile lock, so any
+            # leftover socket file is stale (a SIGKILLed server runs no
+            # atexit): remove it rather than failing with EADDRINUSE —
+            # crash recovery must never require manual cleanup.
+            try:
+                os.unlink(self.config.socket_path)
+            except FileNotFoundError:
+                pass
             self._server = await asyncio.start_unix_server(
                 self._handle, path=self.config.socket_path
             )

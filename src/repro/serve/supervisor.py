@@ -171,6 +171,7 @@ class WorkerSupervisor:
         self._attempts: dict[str, int] = {}
         self._restarts: dict[int, int] = {}  # slot -> restart count
         self._respawn_at: dict[int, float] = {}  # slot -> deadline
+        self._pending_pills = 0  # shrink pills queued but not yet consumed
         self._next_slot = 0
         self._dispatches = 0
         self._stopping = False
@@ -210,17 +211,31 @@ class WorkerSupervisor:
 
     def set_workers(self, target: int) -> None:
         """Resize the pool (degradation ladder): grow by spawning,
-        shrink by poison pills consumed by idle workers."""
+        shrink by poison pills consumed by idle workers.
+
+        Sizing is computed against *effective* capacity — live
+        processes plus scheduled respawns minus outstanding pills —
+        not the previous target, so resizing while slots are crashed
+        or mid-shrink neither over-pills nor strands the pool.
+        """
         target = max(0, target)
         with self._lock:
-            current = self._target_workers
             self._target_workers = target
-            if target > current:
-                for _ in range(target - current):
+            effective = self._effective_capacity()
+            if target > effective:
+                for _ in range(target - effective):
                     self._spawn_slot()
             else:
-                for _ in range(current - target):
+                for _ in range(effective - target):
                     self._tasks.put(None)
+                    self._pending_pills += 1
+
+    def _effective_capacity(self) -> int:
+        """Workers the pool will settle at with no further action
+        (lock held): live + respawning − queued shrink pills."""
+        return (
+            len(self._procs) + len(self._respawn_at) - self._pending_pills
+        )
 
     @property
     def worker_count(self) -> int:
@@ -292,9 +307,15 @@ class WorkerSupervisor:
                 # Redeliver: same job, same journal begin — the crash
                 # consumed an attempt, not the job's identity.
                 self._dispatch(self._jobs[job_id])
-        if clean or self._stopping:
+        if self._stopping:
             return
-        if len(self._procs) + len(self._respawn_at) < self._target_workers:
+        if clean and self._pending_pills > 0:
+            # This exit consumed an intended shrink pill.  The capacity
+            # check below still runs: if crashes raced the shrink and
+            # the pool is under target anyway, the slot respawns — a
+            # clean exit must never strand the pool below target.
+            self._pending_pills -= 1
+        if self._effective_capacity() < self._target_workers:
             restarts = self._restarts.get(slot, 0) + 1
             self._restarts[slot] = restarts
             backoff = min(
@@ -323,7 +344,12 @@ class WorkerSupervisor:
             except (OSError, ValueError):
                 return  # queue closed during shutdown
             if kind == "hb":
-                self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
+                with self._lock:
+                    # Drop heartbeats from already-reaped slots: slots
+                    # are never reused, so a late beat would re-insert
+                    # a stale entry nothing ever cleans up.
+                    if slot in self._procs:
+                        self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
                 continue
             with self._lock:
                 if kind == "start":
@@ -365,5 +391,5 @@ class WorkerSupervisor:
             for slot, deadline in list(self._respawn_at.items()):
                 if now >= deadline:
                     del self._respawn_at[slot]
-                    if len(self._procs) < self._target_workers:
+                    if self._effective_capacity() < self._target_workers:
                         self._spawn_slot()

@@ -89,14 +89,24 @@ class TestServiceConfig:
             with pytest.raises(ConfigError):
                 ServiceConfig(journal_path=journal, **bad)
 
-    def test_initial_mode_follows_workers(self, tmp_path):
+    def test_initial_mode_follows_effective_workers(
+        self, tmp_path, monkeypatch
+    ):
         journal = str(tmp_path / "run.jsonl")
+        # initial_mode follows the CPU-clamped worker count, not the
+        # raw knob: workers=2 on a 1-CPU host is one worker → serial.
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         assert (
             ServiceConfig(journal_path=journal, workers=2).initial_mode
             == MODE_PARALLEL
         )
         assert (
             ServiceConfig(journal_path=journal, workers=1).initial_mode
+            == MODE_SERIAL
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert (
+            ServiceConfig(journal_path=journal, workers=2).initial_mode
             == MODE_SERIAL
         )
 
@@ -107,6 +117,120 @@ class TestServiceConfig:
             journal_path=str(tmp_path / "run.jsonl")
         ).worker_settings()
         assert pickle.loads(pickle.dumps(settings)) == settings
+
+
+# ----------------------------------------------------------------------
+# Supervisor pool sizing
+# ----------------------------------------------------------------------
+
+
+class _FakeProc:
+    pid = 12345
+
+    @staticmethod
+    def is_alive() -> bool:
+        return True
+
+
+def _stub_supervisor(workers: int):
+    """A WorkerSupervisor whose spawns are bookkeeping-only, so the
+    sizing logic can be driven deterministically with no processes."""
+    from repro.serve.supervisor import WorkerSupervisor
+
+    events = []
+    sup = WorkerSupervisor(
+        settings={},
+        workers=workers,
+        completion=lambda *args: None,
+        listener=lambda name, **fields: events.append(name),
+    )
+
+    def spawn() -> None:
+        slot = sup._next_slot
+        sup._next_slot += 1
+        sup._procs[slot] = _FakeProc()
+        sup._last_hb[slot] = time.monotonic()
+
+    sup._spawn_slot = spawn
+    with sup._lock:
+        for _ in range(workers):
+            spawn()
+    return sup, events
+
+
+class TestSupervisorPoolSizing:
+    """Regression: the pool must never settle below target while
+    ``target >= 1`` — the shipped degrade race (both workers crash,
+    ladder shrinks, the sole respawned worker eats the shrink pill and
+    exits clean) used to strand the pool at zero forever."""
+
+    def _drain(self, sup) -> None:
+        sup._tasks.cancel_join_thread()
+        sup._results.cancel_join_thread()
+        sup._tasks.close()
+        sup._results.close()
+
+    def test_clean_exit_below_target_respawns(self):
+        sup, events = _stub_supervisor(workers=1)
+        try:
+            with sup._lock:
+                sup._reap_slot(0, clean=True)  # no shrink was requested
+            assert len(sup._procs) == 0
+            assert len(sup._respawn_at) == 1
+            assert "worker.restart" in events
+        finally:
+            self._drain(sup)
+
+    def test_shrink_pill_exit_does_not_respawn(self):
+        sup, events = _stub_supervisor(workers=2)
+        try:
+            sup.set_workers(1)
+            assert sup._pending_pills == 1
+            with sup._lock:
+                sup._reap_slot(0, clean=True)  # the pill consumer
+            assert sup._pending_pills == 0
+            assert len(sup._procs) == 1
+            assert len(sup._respawn_at) == 0
+            assert "worker.restart" not in events
+        finally:
+            self._drain(sup)
+
+    def test_degrade_race_settles_at_target(self):
+        # The exact shipped race: both workers crash (backoff respawns
+        # pending), the ladder shrinks to serial, respawns come due,
+        # and the pill is eventually consumed by a clean exit.  The
+        # pool must settle at the target, not zero.
+        sup, _ = _stub_supervisor(workers=2)
+        try:
+            with sup._lock:
+                sup._reap_slot(0, clean=False)
+                sup._reap_slot(1, clean=False)
+            assert len(sup._procs) == 0
+            assert len(sup._respawn_at) == 2
+            # Shrink while everything is down: pills must be computed
+            # from effective capacity (2 respawning), not the previous
+            # target.
+            sup.set_workers(1)
+            assert sup._pending_pills == 1
+            # Force both respawn deadlines due and run the sweep.
+            with sup._lock:
+                for slot in list(sup._respawn_at):
+                    sup._respawn_at[slot] = 0.0
+            sup._sweep()
+            # A worker eats the queued pill and exits clean.
+            with sup._lock:
+                victim = next(iter(sup._procs))
+                sup._reap_slot(victim, clean=True)
+            assert sup._pending_pills == 0
+            # Invariant: live + scheduled respawns covers the target.
+            with sup._lock:
+                assert (
+                    len(sup._procs) + len(sup._respawn_at)
+                    >= sup._target_workers
+                )
+                assert sup._target_workers == 1
+        finally:
+            self._drain(sup)
 
 
 # ----------------------------------------------------------------------
@@ -410,3 +534,34 @@ class TestServerRoundTrip:
         )
         with pytest.raises(ChaosError, match="died during startup"):
             server.start(timeout=15)
+
+    def test_restart_on_same_socket_after_sigkill(self, tmp_path):
+        # Regression: a SIGKILLed server runs no atexit, so its socket
+        # file survives; a restart on the same path must unlink the
+        # stale socket itself rather than dying with EADDRINUSE.
+        from repro.chaos.harness import ChaosServer
+
+        first = ChaosServer(
+            str(tmp_path), options={"workers": 1, "profile": "tiny"}
+        )
+        try:
+            first.start()
+            client = first.client()
+            done = client.submit("bfs", "test-small")
+            assert done.ok, done.body
+            spec = done.body["spec"]
+            first.kill()
+            assert os.path.exists(first.socket_path)
+
+            second = ChaosServer(
+                str(tmp_path), options={"workers": 1, "profile": "tiny"}
+            )
+            try:
+                second.start()
+                again = second.client().result(spec)
+                assert again.ok, again.body
+                assert again.raw == done.raw
+            finally:
+                second.kill()
+        finally:
+            first.kill()

@@ -1,0 +1,90 @@
+"""Baseline ratchet for ``python -m repro.analysis``.
+
+New rules land strict without a flag-day: ``--update-baseline`` records
+the current findings into ``.analysis-baseline.json``; thereafter
+``--baseline .analysis-baseline.json`` fails only on findings *not* in
+the baseline.  Keys are ``(path, rule, message)`` with an occurrence
+count — deliberately line-independent, so unrelated edits that shift a
+baselined finding up or down a file do not break CI, while a second
+occurrence of the same defect (count exceeded) does.
+
+The intended workflow is a ratchet: the baseline only ever shrinks.
+Fixing a baselined finding and re-recording removes its entry; adding
+new entries needs the same review scrutiny as a ``repro:noqa``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+DEFAULT_BASELINE_PATH = ".analysis-baseline.json"
+
+
+def finding_key(finding: Finding) -> tuple[str, str, str]:
+    """Line-independent identity of a finding."""
+    return (finding.path, finding.rule, finding.message)
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """Canonical JSON text for a baseline file (sorted, newline-terminated)."""
+    counts = Counter(finding_key(f) for f in findings)
+    entries = [
+        {"path": path, "rule": rule, "message": message, "count": count}
+        for (path, rule, message), count in sorted(counts.items())
+    ]
+    return (
+        json.dumps(
+            {"version": BASELINE_VERSION, "entries": entries}, indent=2
+        )
+        + "\n"
+    )
+
+
+def parse_baseline(text: str) -> Counter:
+    """Parse baseline JSON into a ``Counter`` of finding keys.
+
+    Raises ``ValueError`` on malformed content (the CLI reports it as a
+    usage error rather than silently treating the tree as clean).
+    """
+    data = json.loads(text)
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError("baseline file has no 'entries' list")
+    counts: Counter = Counter()
+    for entry in data["entries"]:
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def load_baseline(path: str) -> Counter:
+    """Read and parse a baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_baseline(handle.read())
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, matched)``: findings beyond the baselined
+    occurrence count for their key are *new*; ``matched`` counts the
+    findings absorbed by the baseline.
+    """
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    matched = 0
+    for finding in findings:  # findings arrive sorted -> deterministic
+        key = finding_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    return new, matched

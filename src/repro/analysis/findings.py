@@ -37,6 +37,11 @@ class Finding:
 
 
 RULE_SUMMARIES: dict[str, str] = {
+    "REP000": (
+        "unused suppression: a line-level 'repro: noqa' pragma that "
+        "suppresses no finding; delete it so stale suppressions rot "
+        "visibly"
+    ),
     "REP001": (
         "no nondeterminism sources (wall clocks, unseeded RNGs, "
         "os.urandom, id()-keyed ordering) inside the simulator"
@@ -74,6 +79,23 @@ RULE_SUMMARIES: dict[str, str] = {
         "tracer emission discipline: every obs .emit() site binds the "
         "tracer to a local and sits inside an 'is not None' guard, so "
         "tracing is zero-cost when off"
+    ),
+    "REP009": (
+        "lock discipline (ConcSan): attributes of lock-owning classes "
+        "must not be accessed both under their inferred guarding lock "
+        "and outside it (Eraser-style interprocedural lockset "
+        "inference; runtime twin: LockSan / REPRO_LOCKSAN=1)"
+    ),
+    "REP010": (
+        "fork/spawn safety (ConcSan): no process creation while a lock "
+        "is held, no bound-method Process targets, no locks/sockets/"
+        "fds/tracers/RNG state captured across the spawn boundary"
+    ),
+    "REP011": (
+        "crash consistency (ConcSan): every durable state file "
+        "(journal, .breaker.json, pidfiles, BENCH_*.json) has a "
+        "torn-write story — writes go through runstate.atomic and "
+        "json parses of durable state tolerate torn records"
     ),
 }
 """One-line summary per rule, used by ``--list-rules`` and the docs."""

@@ -75,6 +75,7 @@ def lint_modules(
     findings: list[Finding] = []
     for ctx in modules:
         supp = suppressions[ctx.relpath]
+        supp.attach_tree(ctx.tree)
         for rule, func in PER_FILE_RULES.items():
             if rule in selected:
                 findings.extend(_apply_suppressions(func(ctx), supp))
@@ -88,6 +89,29 @@ def lint_modules(
                     f.line, f.rule
                 )
             )
+    # REP000 (unused noqa) only makes sense when every detection rule
+    # ran: a pragma for an unselected rule is not stale, just untested
+    # this run.
+    detection_rules = frozenset(ALL_RULES) - {"REP000"}
+    if "REP000" in selected and detection_rules <= selected:
+        for ctx in modules:
+            supp = suppressions[ctx.relpath]
+            for line, codes in supp.unused_pragmas():
+                listed = ",".join(sorted(codes)) if codes else "all rules"
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=line,
+                        col=1,
+                        rule="REP000",
+                        message=(
+                            f"unused suppression ({listed}): this "
+                            "'repro: noqa' pragma suppresses no finding; "
+                            "delete it so stale suppressions cannot mask "
+                            "future ones"
+                        ),
+                    )
+                )
     return sorted(findings)
 
 

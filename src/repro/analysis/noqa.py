@@ -5,18 +5,28 @@ they never collide with other tools:
 
 - line-level: ``# repro: noqa REP003`` (or ``REP001,REP003``) at the end
   of the offending line suppresses those rules on that line only; a bare
-  ``# repro: noqa`` suppresses every rule on the line.
+  ``# repro: noqa`` suppresses every rule on the line.  When the pragma
+  sits anywhere on a multi-line statement (a call spanning several
+  lines, a decorated ``def``'s decorator or header line), it covers the
+  whole statement — findings anchor to the statement's first line, so a
+  trailing pragma on the last physical line still works.
 - file-level: ``# repro: noqa-file REP002`` anywhere in the first 10
   lines suppresses the listed rules for the whole file (used for
   documented, intentional seams).
 
 Suppressions should always carry a justification in the surrounding
-comment — the lint cannot enforce that, but review should.
+comment — the lint cannot enforce that, but review should.  Line-level
+pragmas that suppress nothing are themselves reported (REP000,
+"unused noqa") so stale suppressions rot visibly instead of silently
+masking future findings.
 """
 
 from __future__ import annotations
 
+import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 _LINE_RE = re.compile(
@@ -28,6 +38,43 @@ _FILE_RE = re.compile(
 _FILE_PRAGMA_WINDOW = 10
 """File-level pragmas must appear within the first this-many lines."""
 
+_COMPOUND = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+"""Statements whose pragma span is the header (decorators + signature),
+not the whole body — a pragma on a ``def`` line must not blanket every
+statement inside the function."""
+
+
+def _comments(source: str) -> list[tuple[int, str]]:
+    """(line, text) of every ``#`` comment token in ``source``.
+
+    Falls back to whole-line scanning when the tokenizer rejects the
+    source (the lint driver already skips files that fail to parse, so
+    this only matters for torn fixtures).
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError, ValueError):
+        return [
+            (lineno, text)
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
+
 
 def _parse_codes(match: re.Match) -> frozenset[str]:
     codes = match.group("codes")
@@ -36,23 +83,66 @@ def _parse_codes(match: re.Match) -> frozenset[str]:
     return frozenset(code.strip() for code in codes.split(","))
 
 
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(first, last) physical-line span of every statement's pragma
+    region: full extent for simple statements, decorators + header for
+    compound ones."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", [])
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        if isinstance(node, _COMPOUND):
+            body = getattr(node, "body", None)
+            if body:
+                first_child = body[0]
+                end = (
+                    first_child.lineno
+                    if first_child.lineno == node.lineno
+                    else first_child.lineno - 1
+                )
+            else:  # pragma: no cover - empty compound cannot parse
+                end = node.lineno
+        else:
+            end = getattr(node, "end_lineno", None) or node.lineno
+        if end < start:
+            end = start
+        spans.append((start, end))
+    return spans
+
+
 @dataclass
 class Suppressions:
     """Parsed suppression pragmas of one source file.
 
-    An empty code set means "all rules" (a bare ``noqa``).
+    An empty code set means "all rules" (a bare ``noqa``).  After
+    :meth:`attach_tree` the pragma's reach is widened from its physical
+    line to the statement that contains it; :attr:`used` records which
+    pragma lines actually suppressed a finding so the driver can report
+    stale ones.
     """
 
     line_codes: dict[int, frozenset[str]] = field(default_factory=dict)
     file_codes: frozenset[str] = frozenset()
     file_all: bool = False
+    covered: dict[int, int] = field(default_factory=dict)
+    """Covered source line -> pragma line (statement-span expansion)."""
+    used: set[int] = field(default_factory=set)
+    """Pragma lines that suppressed at least one finding."""
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
-        """Scan a file's text for suppression pragmas."""
+        """Scan a file's comments for suppression pragmas.
+
+        Pragmas are matched against real ``#`` comment tokens, so a
+        docstring *describing* the syntax is not itself a pragma.
+        """
         supp = cls()
         file_codes: set[str] = set()
-        for lineno, text in enumerate(source.splitlines(), start=1):
+        for lineno, text in _comments(source):
             if "repro" not in text or "noqa" not in text:
                 continue
             file_match = _FILE_RE.search(text)
@@ -68,11 +158,53 @@ class Suppressions:
         supp.file_codes = frozenset(file_codes)
         return supp
 
+    def attach_tree(self, tree: ast.Module) -> None:
+        """Widen each line pragma to the statement containing it.
+
+        The innermost (shortest) containing span wins, so a pragma on a
+        statement nested in a ``with`` block covers that statement, not
+        the whole block.
+        """
+        if not self.line_codes:
+            return
+        spans = _statement_spans(tree)
+        for pragma_line in self.line_codes:
+            best: tuple[int, int] | None = None
+            for start, end in spans:
+                if start <= pragma_line <= end:
+                    if best is None or (end - start) < (best[1] - best[0]):
+                        best = (start, end)
+            if best is None:
+                continue  # comment-only line: pragma covers itself
+            for line in range(best[0], best[1] + 1):
+                current = self.covered.get(line)
+                if current is None or current == pragma_line:
+                    self.covered[line] = pragma_line
+                else:
+                    # Two pragmas cover one line (nested spans): keep
+                    # the one physically closer to the line.
+                    if abs(pragma_line - line) < abs(current - line):
+                        self.covered[line] = pragma_line
+
     def is_suppressed(self, line: int, rule: str) -> bool:
-        """Whether ``rule`` is suppressed at ``line``."""
+        """Whether ``rule`` is suppressed at ``line`` (marks usage)."""
         if self.file_all or rule in self.file_codes:
             return True
-        codes = self.line_codes.get(line)
+        pragma_line = line if line in self.line_codes else self.covered.get(
+            line, line
+        )
+        codes = self.line_codes.get(pragma_line)
         if codes is None:
             return False
-        return not codes or rule in codes
+        if not codes or rule in codes:
+            self.used.add(pragma_line)
+            return True
+        return False
+
+    def unused_pragmas(self) -> list[tuple[int, frozenset[str]]]:
+        """Line pragmas that never suppressed a finding, sorted."""
+        return sorted(
+            (line, codes)
+            for line, codes in self.line_codes.items()
+            if line not in self.used
+        )

@@ -1,4 +1,8 @@
-"""Project-wide lint rules (REP004) spanning multiple source files.
+"""Project-wide lint rules spanning multiple source files.
+
+REP004 lives here; the ConcSan concurrency rules (REP009–REP011) live
+in :mod:`repro.analysis.concsan` and are merged into the registry at
+the bottom of this module.
 
 REP004 audits fault-site completeness across the whole tree:
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional
 
+from .concsan import CONCSAN_RULES
 from .findings import Finding
 from .rules import ModuleContext
 
@@ -127,5 +132,8 @@ def check_rep004(modules: list[ModuleContext]) -> list[Finding]:
     return findings
 
 
-PROJECT_RULES = {"REP004": check_rep004}
-"""Registry of rules that need the whole module set at once."""
+PROJECT_RULES = {"REP004": check_rep004, **CONCSAN_RULES}
+"""Registry of rules that need the whole module set at once.
+
+REP004 audits fault sites; REP009/REP010/REP011 are the ConcSan
+interprocedural concurrency rules (:mod:`repro.analysis.concsan`)."""

@@ -77,8 +77,9 @@ def _arm_append_bomb(ordinal: int) -> None:
         if state["count"] == ordinal:
             line = render_line(record)
             torn = line[: max(1, len(line) // 2)]
-            # repro: noqa REP007 — the torn raw write IS the injected crash
-            with open(self.path, "a", encoding="utf-8") as handle:  # repro: noqa REP007 — deliberate torn write
+            # The torn raw write IS the injected crash — this must
+            # not go through the atomic append helpers.
+            with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(torn)
                 handle.flush()
                 os.fsync(handle.fileno())

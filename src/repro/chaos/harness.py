@@ -33,11 +33,11 @@ import signal
 import subprocess
 import sys
 import threading
-import time  # repro: noqa REP001 — chaos choreography and observation timeouts are operational
+import time
 from typing import Any, Callable, Optional
 
 from ..errors import ChaosError, ServiceError
-from ..runstate.journal import STATUS_DONE, STATUS_RUNNING, scan_records
+from ..runstate.journal import STATUS_RUNNING, scan_records
 from ..serve.client import ClientResponse, SweepClient
 
 _STARTUP_TIMEOUT = 30.0
@@ -122,7 +122,7 @@ class ChaosServer:
                     f"server {self.name!r} died during startup "
                     f"(exit {self.proc.returncode}): {self._stderr_tail()}"
                 )
-            time.sleep(0.05)  # repro: noqa REP001 — startup poll
+            time.sleep(0.05)
         self.kill()
         raise ChaosError(
             f"server {self.name!r} did not become healthy within "

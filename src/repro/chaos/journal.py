@@ -51,9 +51,11 @@ class ChaosJournal(RunJournal):
         if self.plan.kill_server_at_append(ordinal):
             line = render_line(record)
             torn = line[: max(1, len(line) // 2)]
-            # repro: noqa REP007 — deliberately tears the journal: a raw
-            # partial write IS the fault being injected here.
-            with open(self.path, "a", encoding="utf-8") as handle:  # repro: noqa REP007 — deliberate torn write
+            # Deliberately tears the journal: a raw partial append
+            # IS the fault being injected here.
+            with open(  # repro: noqa REP011 — deliberate torn write
+                self.path, "a", encoding="utf-8"
+            ) as handle:
                 handle.write(torn)
                 handle.flush()
                 os.fsync(handle.fileno())

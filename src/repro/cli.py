@@ -380,6 +380,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap on simulated accesses per cell",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the repo's static analysis (REP001-REP011); "
+        "arguments after -- pass through to python -m repro.analysis",
+    )
+    analyze.add_argument(
+        "analyzer_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="arguments forwarded verbatim after a -- separator "
+        "(e.g. repro analyze -- --list-rules, repro analyze -- "
+        "--baseline .analysis-baseline.json --format json)",
+    )
+
     chaos = sub.add_parser(
         "chaos",
         help="run the deterministic chaos scenarios against a real "
@@ -697,8 +709,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as analysis_main
+
+    forwarded = list(args.analyzer_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return analysis_main(forwarded)
+
+
 COMMANDS = {
     "run": _cmd_run,
+    "analyze": _cmd_analyze,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
     "figure": _cmd_figure,

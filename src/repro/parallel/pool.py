@@ -38,7 +38,7 @@ import multiprocessing
 import os
 import pickle
 import queue
-import time  # repro: noqa REP001 — parent-side hang detection, like runstate.watchdog
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 

@@ -25,7 +25,7 @@ outcome, so it carries the same REP001 exemption.
 
 from __future__ import annotations
 
-import time  # repro: noqa REP001 — quarantine cooldowns are operational, like the watchdog
+import time
 from typing import Any, Callable, Optional
 
 from ..runstate.atomic import atomic_write_text

@@ -231,7 +231,7 @@ class SweepService:
         self._emit(name, **fields)
         if name != "worker.restart":
             return
-        import time  # repro: noqa REP001 — failure-rate window is operational
+        import time
 
         now = time.monotonic()  # repro: noqa REP001 — failure-rate window is operational
         window = self.config.degrade_window_seconds

@@ -37,8 +37,10 @@ import os
 import queue
 import signal
 import threading
-import time  # repro: noqa REP001 — supervision deadlines are operational, like the pool
+import time
 from typing import Any, Callable, Optional
+
+from ..analysis.locksan import make_lock, watch
 
 _POLL_SECONDS = 0.1
 """Monitor poll interval for the result queue."""
@@ -77,7 +79,7 @@ def _worker_main(
                 results.put(("hb", slot, pid, None, None))
             except Exception:
                 return
-            time.sleep(heartbeat_interval)  # repro: noqa REP001 — heartbeat pacing
+            time.sleep(heartbeat_interval)
 
     threading.Thread(target=beat, daemon=True).start()
 
@@ -109,7 +111,7 @@ def _worker_main(
             # Deterministic chaos: die mid-cell, exactly like a real
             # SIGKILL'd worker.  The short sleep lets the queue feeder
             # flush the "start" message first.
-            time.sleep(0.2)  # repro: noqa REP001 — chaos choreography
+            time.sleep(0.2)
             os.kill(pid, signal.SIGKILL)
         try:
             policy = parse_policy(task["policy"])
@@ -163,7 +165,7 @@ class WorkerSupervisor:
         self._mp = multiprocessing.get_context()
         self._tasks: "multiprocessing.Queue" = self._mp.Queue()
         self._results: "multiprocessing.Queue" = self._mp.Queue()
-        self._lock = threading.Lock()
+        self._lock = make_lock("WorkerSupervisor._lock")
         self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
         self._last_hb: dict[int, float] = {}
         self._in_flight: dict[int, str] = {}  # slot -> job_id
@@ -174,8 +176,12 @@ class WorkerSupervisor:
         self._pending_pills = 0  # shrink pills queued but not yet consumed
         self._next_slot = 0
         self._dispatches = 0
-        self._stopping = False
+        # An Event, not a locked bool: stop() must be able to raise the
+        # flag without taking self._lock (the monitor may hold it), and
+        # Event.set()/is_set() are self-synchronizing (REP009-clean).
+        self._stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None
+        watch(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -183,8 +189,10 @@ class WorkerSupervisor:
 
     def start(self) -> None:
         with self._lock:
-            for _ in range(self._target_workers):
-                self._spawn_slot()
+            pending = [
+                self._spawn_slot() for _ in range(self._target_workers)
+            ]
+        self._launch(pending)
         self._monitor = threading.Thread(
             target=self._monitor_loop, daemon=True, name="repro-supervisor"
         )
@@ -192,16 +200,21 @@ class WorkerSupervisor:
 
     def stop(self) -> None:
         """Poison-pill every worker and stop the monitor."""
-        self._stopping = True
+        self._stop.set()
         with self._lock:
             procs = list(self._procs.values())
             for _ in procs:
                 self._tasks.put(None)
         for proc in procs:
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
+            try:
                 proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            except (AssertionError, ValueError):
+                # Registered but never started (stop raced a spawn):
+                # nothing to join, and its pill stays harmlessly queued.
+                continue
         if self._monitor is not None:
             self._monitor.join(timeout=2.0)
         self._tasks.cancel_join_thread()
@@ -219,16 +232,18 @@ class WorkerSupervisor:
         or mid-shrink neither over-pills nor strands the pool.
         """
         target = max(0, target)
+        pending: list[tuple[int, multiprocessing.process.BaseProcess]] = []
         with self._lock:
             self._target_workers = target
             effective = self._effective_capacity()
             if target > effective:
                 for _ in range(target - effective):
-                    self._spawn_slot()
+                    pending.append(self._spawn_slot())
             else:
                 for _ in range(effective - target):
                     self._tasks.put(None)
                     self._pending_pills += 1
+        self._launch(pending)
 
     def _effective_capacity(self) -> int:
         """Workers the pool will settle at with no further action
@@ -269,8 +284,14 @@ class WorkerSupervisor:
     # Worker processes
     # ------------------------------------------------------------------
 
-    def _spawn_slot(self) -> None:
-        """Start one worker (lock held)."""
+    def _spawn_slot(self) -> tuple[int, multiprocessing.process.BaseProcess]:
+        """Register one worker slot (lock held); the caller starts it.
+
+        The process object is created and tracked here but *started* by
+        :meth:`_launch` after the lock is released — forking while
+        holding ``self._lock`` hands the child a permanently held lock
+        and whatever half-updated state the locked region had (REP010).
+        """
         slot = self._next_slot
         self._next_slot += 1
         proc = self._mp.Process(
@@ -282,9 +303,17 @@ class WorkerSupervisor:
             daemon=True,
         )
         self._procs[slot] = proc
-        proc.start()
         self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
-        self.listener("worker.spawn", slot=slot, pid=proc.pid or 0)
+        return slot, proc
+
+    def _launch(
+        self,
+        pending: list[tuple[int, multiprocessing.process.BaseProcess]],
+    ) -> None:
+        """Start freshly registered workers and announce them (no lock)."""
+        for slot, proc in pending:
+            proc.start()
+            self.listener("worker.spawn", slot=slot, pid=proc.pid or 0)
 
     def _reap_slot(self, slot: int, clean: bool) -> None:
         """Handle one dead/killed worker (lock held): report, redeliver
@@ -307,7 +336,7 @@ class WorkerSupervisor:
                 # Redeliver: same job, same journal begin — the crash
                 # consumed an attempt, not the job's identity.
                 self._dispatch(self._jobs[job_id])
-        if self._stopping:
+        if self._stop.is_set():
             return
         if clean and self._pending_pills > 0:
             # This exit consumed an intended shrink pill.  The capacity
@@ -333,7 +362,7 @@ class WorkerSupervisor:
     # ------------------------------------------------------------------
 
     def _monitor_loop(self) -> None:
-        while not self._stopping:
+        while not self._stop.is_set():
             try:
                 kind, slot, pid, job_id, payload = self._results.get(
                     timeout=_POLL_SECONDS
@@ -349,12 +378,12 @@ class WorkerSupervisor:
                     # are never reused, so a late beat would re-insert
                     # a stale entry nothing ever cleans up.
                     if slot in self._procs:
-                        self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
+                        self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — hb clock
                 continue
             with self._lock:
                 if kind == "start":
                     self._in_flight[slot] = job_id
-                    self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — supervision clock
+                    self._last_hb[slot] = time.monotonic()  # repro: noqa REP001 — hb clock
                     continue
                 if kind == "exit":
                     self._reap_slot(slot, clean=True)
@@ -371,8 +400,13 @@ class WorkerSupervisor:
         """Idle-poll bookkeeping: dead workers, silent workers, due
         respawns."""
         now = time.monotonic()  # repro: noqa REP001 — supervision clock
+        pending: list[tuple[int, multiprocessing.process.BaseProcess]] = []
         with self._lock:
             for slot, proc in list(self._procs.items()):
+                if proc.pid is None:
+                    # Registered but not yet started (_launch is in
+                    # flight on another thread): young, not dead.
+                    continue
                 if not proc.is_alive():
                     self._reap_slot(slot, clean=False)
                     continue
@@ -392,4 +426,5 @@ class WorkerSupervisor:
                 if now >= deadline:
                     del self._respawn_at[slot]
                     if self._effective_capacity() < self._target_workers:
-                        self._spawn_slot()
+                        pending.append(self._spawn_slot())
+        self._launch(pending)

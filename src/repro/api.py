@@ -112,7 +112,14 @@ from .obs import (
     write_trace_jsonl,
 )
 from .chaos import ChaosPlan, run_scenarios
+from .dist import DistConfig, DistCoordinator, WorkerConfig, work_loop
 from .runstate import RunJournal
+from .runstate.merge import (
+    MergeConflictError,
+    format_conflict_report,
+    merge_journals,
+    write_merged,
+)
 from .serve import ServiceConfig, SweepClient
 from .units import format_bytes
 from .workloads import Bfs, PageRank, Sssp, create_workload
@@ -123,6 +130,8 @@ __all__ = [
     "ChaosPlan",
     "CsrGraph",
     "DATASETS",
+    "DistConfig",
+    "DistCoordinator",
     "EVENT_NAMES",
     "EVENT_SCHEMA",
     "ExperimentRunner",
@@ -131,6 +140,7 @@ __all__ = [
     "FigureResult",
     "Machine",
     "MachineConfig",
+    "MergeConflictError",
     "ORDERINGS",
     "POLICIES",
     "PROFILES",
@@ -150,6 +160,7 @@ __all__ = [
     "ThpMode",
     "ThpPolicy",
     "Tracer",
+    "WorkerConfig",
     "ablation_alloc_order_census",
     "ablation_promotion_path",
     "ablation_reorder",
@@ -171,6 +182,7 @@ __all__ = [
     "fig10_selective_thp",
     "fig11_selectivity_sweep",
     "format_bytes",
+    "format_conflict_report",
     "format_table",
     "fragmented",
     "fresh",
@@ -181,6 +193,7 @@ __all__ = [
     "hugetlb_policy",
     "load_dataset",
     "load_edge_list",
+    "merge_journals",
     "page_cache_interference",
     "paper_x86",
     "power_law_graph",
@@ -199,6 +212,8 @@ __all__ = [
     "to_chrome_trace",
     "utilization_manager_policy",
     "validate_trace_records",
+    "work_loop",
     "write_chrome_trace",
+    "write_merged",
     "write_trace_jsonl",
 ]

@@ -601,6 +601,13 @@ SCENARIOS: dict[str, Callable[..., dict[str, Any]]] = {
     "quarantine": scenario_quarantine,
 }
 
+# The distributed-layer scenarios (repro.dist: coordinator/worker
+# sharding) live in their own module; same table so `repro chaos`
+# runs them all.
+from .dist_scenarios import DIST_SCENARIOS  # noqa: E402
+
+SCENARIOS.update(DIST_SCENARIOS)
+
 
 def run_scenarios(
     names: list[str],

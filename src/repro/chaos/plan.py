@@ -18,9 +18,20 @@ Grammar (comma list): ``action:point:ordinal``
 - ``enospc:append:N`` — journal appends fail with ``ENOSPC`` from the
   N-th onward (the disk stays "full"), driving the service's
   cached-only degradation.
+- ``drop:net.connect:N`` / ``drop:net.send:N`` / ``drop:net.recv:N`` —
+  the N-th network operation *at that point* fails with a connection
+  error (one lost packet/refused dial, exactly once).
+- ``delay:net.send:N`` / ``delay:net.recv:N`` — the N-th operation at
+  that point stalls (the delay duration is a knob of the component
+  consuming the plan, e.g. ``repro work --net-delay``), long enough to
+  expire a lease without losing the result.
+- ``sever:net.partition:N`` — from the N-th network operation onward
+  (counted across *all* points) every operation fails: a full network
+  partition that never heals, the distributed layer's worst case.
 
-Ordinals are 1-based.  Kill actions fire exactly once (their ordinal
-must match); ``enospc`` is a threshold (``>=``).
+Ordinals are 1-based.  Kill and ``drop``/``delay`` actions fire exactly
+once (their ordinal must match); ``enospc`` and ``sever`` are
+thresholds (``>=``).
 """
 
 from __future__ import annotations
@@ -32,14 +43,28 @@ from ..errors import ConfigError
 ACTION_KILL_WORKER = "kill-worker"
 ACTION_KILL_SERVER = "kill-server"
 ACTION_ENOSPC = "enospc"
+ACTION_DROP = "drop"
+ACTION_DELAY = "delay"
+ACTION_SEVER = "sever"
 
 POINT_CELL = "cell"
 POINT_APPEND = "append"
+POINT_NET_CONNECT = "net.connect"
+POINT_NET_SEND = "net.send"
+POINT_NET_RECV = "net.recv"
+POINT_NET_PARTITION = "net.partition"
+
+NET_POINTS = (POINT_NET_CONNECT, POINT_NET_SEND, POINT_NET_RECV)
+"""The per-operation network fault points (``net.partition`` is the
+whole-link threshold, not an operation point)."""
 
 _VALID = {
     ACTION_KILL_WORKER: (POINT_CELL,),
     ACTION_KILL_SERVER: (POINT_APPEND,),
     ACTION_ENOSPC: (POINT_APPEND,),
+    ACTION_DROP: NET_POINTS,
+    ACTION_DELAY: (POINT_NET_SEND, POINT_NET_RECV),
+    ACTION_SEVER: (POINT_NET_PARTITION,),
 }
 
 
@@ -116,5 +141,36 @@ class ChaosPlan:
         """True when this (and every later) append must fail ENOSPC."""
         return any(
             a.action == ACTION_ENOSPC and append_ordinal >= a.ordinal
+            for a in self.actions
+        )
+
+    # -- network fault sites (consumed by repro.dist.netchaos) ---------
+
+    def drop_at(self, point: str, point_ordinal: int) -> bool:
+        """True when the ``point_ordinal``-th operation at ``point``
+        (``net.connect`` / ``net.send`` / ``net.recv``) must fail."""
+        return any(
+            a.action == ACTION_DROP
+            and a.point == point
+            and a.ordinal == point_ordinal
+            for a in self.actions
+        )
+
+    def delay_at(self, point: str, point_ordinal: int) -> bool:
+        """True when the ``point_ordinal``-th operation at ``point``
+        must stall before proceeding."""
+        return any(
+            a.action == ACTION_DELAY
+            and a.point == point
+            and a.ordinal == point_ordinal
+            for a in self.actions
+        )
+
+    def severed_at(self, op_ordinal: int) -> bool:
+        """True when the link is partitioned at the ``op_ordinal``-th
+        network operation (counted across all points; threshold —
+        partitions never heal)."""
+        return any(
+            a.action == ACTION_SEVER and op_ordinal >= a.ordinal
             for a in self.actions
         )

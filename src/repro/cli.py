@@ -24,9 +24,13 @@ Subcommands:
 ``profiles``
     List machine profiles and their geometry.
 ``runs``
-    Inspect or compact a run journal (``list`` / ``show`` / ``gc``);
-    pairs with ``run``/``figure``'s ``--journal`` and ``--resume``
-    flags (see docs/checkpointing.md).
+    Inspect, compact or merge run journals (``list`` / ``show`` /
+    ``gc`` / ``merge``); pairs with ``run``/``figure``'s ``--journal``
+    and ``--resume`` flags (see docs/checkpointing.md).
+``work``
+    Remote sweep worker: pulls leased cells from a ``figure
+    --distribute`` coordinator and streams results back (see
+    docs/service.md, "Distributed sweeps").
 """
 
 from __future__ import annotations
@@ -230,6 +234,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "per CPU; output and journal bytes are identical to a serial "
         "run (env default: REPRO_WORKERS; see docs/performance.md)",
     )
+    figure.add_argument(
+        "--distribute", default=None, metavar="ADDR",
+        help="shard the sweep across remote 'repro work' agents: "
+        "listen on ADDR (socket path or host:port) and lease cells "
+        "to pulling workers; degrades to local execution when no "
+        "worker is reachable (see docs/service.md)",
+    )
+    figure.add_argument(
+        "--lease-seconds", type=float, default=5.0, metavar="SECONDS",
+        help="(--distribute) lease duration per cell; workers renew at "
+        "a third of this (default: 5)",
+    )
+    figure.add_argument(
+        "--lease-attempts", type=int, default=3, metavar="N",
+        help="(--distribute) lease grants per cell before it runs "
+        "locally instead (default: 3)",
+    )
+    figure.add_argument(
+        "--local-grace", type=float, default=10.0, metavar="SECONDS",
+        help="(--distribute) no worker contact for this long degrades "
+        "the batch to local execution, one-way (default: 10)",
+    )
+    figure.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="deterministic chaos plan for the figure's journal "
+        "(tests only), e.g. 'kill-server:append:3' tears the N-th "
+        "append and SIGKILLs this process; requires --journal",
+    )
     _add_common_machine_args(figure)
     _add_resilience_args(figure)
     _add_runstate_args(figure)
@@ -257,22 +289,36 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profiles", help="list machine profiles")
 
     runs = sub.add_parser(
-        "runs", help="inspect or compact a run journal"
+        "runs", help="inspect, compact or merge run journals"
     )
     runs.add_argument(
         "action",
-        choices=("list", "show", "gc"),
+        choices=("list", "show", "gc", "merge"),
         help="list: one line per cell; show: full record(s) as JSON; "
-        "gc: compact to completed cells",
+        "gc: compact to completed cells; merge: union N journal "
+        "shards by spec fingerprint (partition-tolerant; refuses "
+        "split-brain conflicts with exit code 3)",
     )
     runs.add_argument(
-        "--journal", required=True, metavar="PATH", help="journal file"
+        "shards", nargs="*", metavar="SHARD",
+        help="(merge) journal shard files to union (coordinator + "
+        "worker journals; missing files count as empty shards)",
+    )
+    runs.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal file (required for list/show/gc; for merge it "
+        "is prepended to the shard list)",
     )
     runs.add_argument(
         "--spec",
         default=None,
         metavar="FINGERPRINT",
         help="(show) restrict to one cell's spec fingerprint",
+    )
+    runs.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="(merge) write the merged journal here (atomic); "
+        "default: print to stdout",
     )
 
     advise = sub.add_parser(
@@ -380,6 +426,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap on simulated accesses per cell",
     )
 
+    work = sub.add_parser(
+        "work",
+        help="run a remote sweep worker: pull leased cells from a "
+        "'repro figure --distribute' coordinator (see docs/service.md)",
+    )
+    work.add_argument(
+        "--connect", required=True, metavar="ADDR",
+        help="coordinator address: socket path or host:port",
+    )
+    work.add_argument(
+        "--journal", required=True, metavar="PATH",
+        help="this worker's local journal shard (merged afterwards "
+        "with 'repro runs merge')",
+    )
+    work.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="stable worker name for leases and events "
+        "(default: w<pid>)",
+    )
+    work.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="idle poll period when no cell is leasable (default: 0.2)",
+    )
+    work.add_argument(
+        "--idle-exit", type=float, default=30.0, metavar="SECONDS",
+        help="exit 0 after this long without coordinator contact "
+        "(default: 30)",
+    )
+    work.add_argument(
+        "--request-attempts", type=int, default=4, metavar="N",
+        help="bounded retry attempts per coordinator request "
+        "(default: 4)",
+    )
+    work.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="deterministic chaos plan (tests only): kill-worker:cell:N "
+        "self-SIGKILLs mid-cell; drop/delay/sever net.* actions fault "
+        "this worker's socket operations",
+    )
+    work.add_argument(
+        "--net-delay", type=float, default=0.5, metavar="SECONDS",
+        help="stall applied by delay:net.* chaos actions (default: 0.5)",
+    )
+
     analyze = sub.add_parser(
         "analyze",
         help="run the repo's static analysis (REP001-REP011); "
@@ -461,6 +551,36 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             + ", ".join(sorted(FIGURES))
         )
     runner = _make_runner(args)
+    if getattr(args, "chaos", None):
+        from .chaos.journal import ChaosJournal
+        from .chaos.plan import ChaosPlan
+
+        if not args.journal:
+            raise ReproError("figure --chaos requires --journal PATH")
+        old = runner.journal
+        if old is not None:
+            old.close()
+        runner.journal = ChaosJournal(
+            args.journal, ChaosPlan.parse(args.chaos), lock=True
+        )
+    coordinator = None
+    if getattr(args, "distribute", None):
+        from .dist import DistConfig, DistCoordinator, parse_connect
+
+        socket_path, host, port = parse_connect(args.distribute)
+        dist_config = DistConfig(
+            socket_path=socket_path,
+            host=host,
+            port=port,
+            lease_seconds=args.lease_seconds,
+            max_lease_attempts=args.lease_attempts,
+            local_grace_seconds=args.local_grace,
+            faults_text=getattr(args, "faults", None),
+            fault_seed=getattr(args, "fault_seed", 0),
+        )
+        coordinator = DistCoordinator(runner, dist_config)
+        coordinator.start()
+        runner.dist_executor = coordinator.execute_batch
     kwargs = {}
     if args.workloads:
         kwargs["workloads"] = tuple(args.workloads.split(","))
@@ -477,6 +597,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 print()
         _write_trace(args, runner)
     finally:
+        if coordinator is not None:
+            coordinator.drain()
+            coordinator.stop()
         _close_runner(runner)
     if runner.failures:
         print(
@@ -559,6 +682,54 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     from .runstate.journal import RunJournal
     from .runstate.lock import PidLock
 
+    if args.action == "merge":
+        from .errors import MergeConflictError
+        from .runstate.merge import (
+            format_conflict_report,
+            merge_journals,
+            write_merged,
+        )
+
+        shards = list(args.shards)
+        if args.journal:
+            shards.insert(0, args.journal)
+        if not shards:
+            raise ReproError(
+                "runs merge needs at least one journal shard "
+                "(positional SHARD arguments and/or --journal)"
+            )
+        try:
+            if args.out:
+                report = write_merged(shards, args.out)
+            else:
+                report = merge_journals(shards)
+                sys.stdout.write(report.text)
+        except MergeConflictError as error:
+            print(format_conflict_report(error), file=sys.stderr)
+            return 3
+        destination = args.out if args.out else "stdout"
+        print(
+            f"merged {len(shards)} shard(s) -> {destination}: "
+            f"kept {report.kept} completed cell(s), "
+            f"{report.duplicates} duplicate(s) deduplicated, "
+            f"{report.dropped} non-final record(s) dropped",
+            file=sys.stderr,
+        )
+        for shard in report.shards:
+            if shard.torn:
+                print(
+                    f"  {shard.path}: {shard.torn} torn record(s) "
+                    "skipped",
+                    file=sys.stderr,
+                )
+        return 0
+    if args.shards:
+        raise ReproError(
+            f"runs {args.action} takes no positional shard arguments "
+            "(those are for 'runs merge')"
+        )
+    if not args.journal:
+        raise ReproError(f"runs {args.action} requires --journal PATH")
     if args.action == "gc":
         # Hold the pidfile lock for the whole compaction, not just a
         # liveness check: a sweep or server starting between a check
@@ -616,6 +787,27 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             print(json_module.dumps(record.to_dict(), indent=2))
         return 0
     raise ReproError(f"unknown runs action {args.action!r}")
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from .dist import WorkerConfig, work_loop
+
+    plan = None
+    if args.chaos:
+        from .chaos.plan import ChaosPlan
+
+        plan = ChaosPlan.parse(args.chaos)
+    config = WorkerConfig(
+        connect=args.connect,
+        journal_path=args.journal,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        idle_exit_seconds=args.idle_exit,
+        max_attempts=args.request_attempts,
+        plan=plan,
+        net_delay_seconds=args.net_delay,
+    )
+    return work_loop(config)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -730,6 +922,7 @@ COMMANDS = {
     "profiles": _cmd_profiles,
     "advise": _cmd_advise,
     "runs": _cmd_runs,
+    "work": _cmd_work,
 }
 
 

@@ -162,6 +162,44 @@ class AdmissionError(ServiceError):
         super().__init__(message)
 
 
+class MergeConflictError(JournalError):
+    """A journal merge found conflicting results for one fingerprint.
+
+    Split-brain: two shards hold ``done`` records for the same spec
+    fingerprint whose semantic content (cell coordinates, payload,
+    attempts, kernel cycles) differs.  Identical duplicates — the normal
+    outcome of a cell re-leased after a worker partition — merge
+    silently; a genuine divergence means the shards were produced under
+    different settings or one of them is corrupt, and the merge refuses
+    rather than guessing which side to keep.
+
+    Attributes:
+        conflicts: one dict per conflicting fingerprint —
+            ``{"spec", "label", "variants": [{"source", "digest",
+            "status"}]}`` — so the refusal report can name exactly what
+            diverged and where each variant came from.
+    """
+
+    def __init__(self, conflicts) -> None:
+        self.conflicts = list(conflicts)
+        specs = ", ".join(c["spec"] for c in self.conflicts)
+        super().__init__(
+            f"conflicting results for {len(self.conflicts)} "
+            f"fingerprint(s): {specs}"
+        )
+
+
+class DistError(ServiceError):
+    """The distributed sweep layer could not dispatch or collect a cell.
+
+    Raised by :mod:`repro.dist` for coordinator/worker protocol
+    failures the layer *chose* to surface (a lease the coordinator no
+    longer recognizes, an integrity-hash mismatch on a streamed
+    result).  Transport-level failures stay ``OSError`` so the bounded
+    retry loop can treat them uniformly.
+    """
+
+
 class ChaosError(ReproError):
     """A chaos scenario's invariant did not hold.
 

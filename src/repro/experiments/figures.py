@@ -170,7 +170,10 @@ def _parallel_figure(func: Callable) -> Callable:
 
     @functools.wraps(func)
     def wrapper(runner: ExperimentRunner, *args, **kwargs):
-        if getattr(runner, "workers", 1) != 1:
+        if (
+            getattr(runner, "workers", 1) != 1
+            or getattr(runner, "dist_executor", None) is not None
+        ):
             planner = _PlanningRunner(runner)
             try:
                 func(planner, *args, **kwargs)

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from ..config import MachineConfig, scaled
 from ..errors import (
@@ -335,6 +335,15 @@ class ExperimentRunner:
             # identical serial or parallel, never a wall clock.
             self.harness_tracer = Tracer(clock=lambda: self._harness_clock)
         self._autosize_emitted = False
+        self.dist_executor: Optional[
+            Callable[[list[tuple]], list[CellResult]]
+        ] = None
+        """When set (``repro figure --distribute``), batches route
+        through this callable — e.g. :meth:`repro.dist.DistCoordinator
+        .execute_batch` — instead of the local process pool.  It
+        receives the not-yet-known cells and must return results
+        aligned with them; journaling, caching and trace merging stay
+        in this process, in spec order, exactly like the pool path."""
         self._cache: dict[tuple, CellResult] = {}
         self._graph_cache: dict[
             tuple[str, str, bool], tuple[CsrGraph, int]
@@ -586,6 +595,14 @@ class ExperimentRunner:
         at the failing cell, which a process boundary cannot preserve.
         """
         cells = list(cells)
+        if (
+            self.dist_executor is not None
+            and len(cells) > 1
+            and self.capture_failures
+        ):
+            # Distributed dispatch is orthogonal to the CPU clamp: a
+            # 1-CPU coordinator host still shards across remote workers.
+            return self._run_cells_parallel(cells)
         workers = self.workers
         if workers != 1 and len(cells) > 1 and self.capture_failures:
             import os
@@ -647,19 +664,26 @@ class ExperimentRunner:
 
         executed: dict[int, CellResult] = {}
         if dispatch:
-            # Graph preparation happens once, in the parent: workers
-            # inherit (fork) or receive (spawn) the prepared cache and
-            # never duplicate load/reorder work.
-            for i in dispatch:
-                workload_name, dataset_name, policy, _scenario = cells[i]
-                self._prepared_graph(
-                    dataset_name, policy.plan.reorder,
-                    weighted=workload_needs_weights(workload_name),
+            if self.dist_executor is not None:
+                outcomes = self.dist_executor(
+                    [cells[i] for i in dispatch]
                 )
-            outcomes = execute_cells(
-                self, [cells[i] for i in dispatch],
-                resolve_workers(self.workers),
-            )
+            else:
+                # Graph preparation happens once, in the parent: workers
+                # inherit (fork) or receive (spawn) the prepared cache
+                # and never duplicate load/reorder work.
+                for i in dispatch:
+                    workload_name, dataset_name, policy, _scenario = (
+                        cells[i]
+                    )
+                    self._prepared_graph(
+                        dataset_name, policy.plan.reorder,
+                        weighted=workload_needs_weights(workload_name),
+                    )
+                outcomes = execute_cells(
+                    self, [cells[i] for i in dispatch],
+                    resolve_workers(self.workers),
+                )
             executed = dict(zip(dispatch, outcomes))
 
         # Deterministic merge, in spec order: journal begin/result pairs,

@@ -33,6 +33,11 @@ by the subsystem that emits them:
   worker supervision.  Service events are clocked by a logical monotone
   counter rather than simulated cycles (the daemon has no single
   simulated machine), which keeps them REP001-clean.
+- ``dist.*`` / ``net.*`` — the distributed sweep layer
+  (:mod:`repro.dist`): lease lifecycle on the coordinator, result
+  collection and dedup/conflict outcomes, degradation to local
+  execution, and the deterministic network fault sites fired by the
+  chaos client.  Like service events these use a logical clock.
 """
 
 from __future__ import annotations
@@ -105,6 +110,24 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
     "worker.exit": {"slot": "index", "pid": "count", "clean": "count"},
     "worker.restart": {"slot": "index", "backoff_ms": "count"},
     "worker.heartbeat_lost": {"slot": "index", "age_ms": "count"},
+    # -- distributed sweeps: lease lifecycle --------------------------
+    "dist.lease.grant": {"spec": "name", "worker": "name",
+                         "attempt": "count"},
+    "dist.lease.renew": {"spec": "name", "worker": "name"},
+    "dist.lease.expire": {"spec": "name", "worker": "name",
+                          "attempt": "count"},
+    # -- distributed sweeps: result collection ------------------------
+    "dist.result": {"spec": "name", "worker": "name"},
+    "dist.duplicate": {"spec": "name", "worker": "name"},
+    "dist.conflict": {"spec": "name", "worker": "name"},
+    # -- distributed sweeps: degradation to local execution -----------
+    "dist.local": {"spec": "name", "reason": "name"},
+    "dist.mode": {"from_mode": "name", "to_mode": "name",
+                  "reason": "name"},
+    # -- network chaos fault sites (repro.dist.netchaos) --------------
+    "net.drop": {"point": "name", "ordinal": "count"},
+    "net.delay": {"point": "name", "ordinal": "count"},
+    "net.sever": {"point": "name", "ordinal": "count"},
 }
 """Event name -> required event-specific fields and their units."""
 

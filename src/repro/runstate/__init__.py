@@ -10,7 +10,11 @@ makes sweep execution restartable and bounded:
   specification, so resumed sweeps recognize completed cells across
   processes and cache clears;
 - :class:`CellWatchdog` — per-cell simulated-cycle budget plus
-  wall-clock deadline, absorbing hung cells as ``FAILED(watchdog)``.
+  wall-clock deadline, absorbing hung cells as ``FAILED(watchdog)``;
+- :func:`merge_journals` / :func:`write_merged` — the
+  partition-tolerant multi-host journal merge behind ``repro runs
+  merge`` (union by fingerprint, split-brain refusal, byte-stable
+  output).
 
 See ``docs/checkpointing.md`` for the journal format and resume
 semantics, and ``docs/faults.md`` for the ``journal.*`` fault sites
@@ -29,6 +33,13 @@ from .journal import (
     scan_records,
 )
 from .lock import PidLock, live_holder, lock_path_for
+from .merge import (
+    MergeReport,
+    format_conflict_report,
+    merge_journals,
+    record_digest,
+    write_merged,
+)
 from .serialize import (
     canonical_json,
     decode_result,
@@ -41,6 +52,7 @@ from .watchdog import CellWatchdog
 __all__ = [
     "CellWatchdog",
     "JournalRecord",
+    "MergeReport",
     "PidLock",
     "RunJournal",
     "STATUS_DONE",
@@ -51,11 +63,15 @@ __all__ = [
     "canonical_json",
     "decode_result",
     "encode_result",
+    "format_conflict_report",
     "integrity_hash",
     "live_holder",
     "lock_path_for",
+    "merge_journals",
     "parse_line",
+    "record_digest",
     "render_line",
     "scan_records",
     "spec_fingerprint",
+    "write_merged",
 ]

@@ -1,0 +1,212 @@
+"""Partition-tolerant journal merge (``repro runs merge``).
+
+A distributed sweep leaves one journal per host: the coordinator's
+(written in spec order at batch commit) and one per worker agent
+(written in lease-completion order).  After a partition or a coordinator
+crash, the union of those shards is the sweep's durable state.  This
+module merges N shards into one canonical journal:
+
+- **Union by spec fingerprint.**  Records are grouped by ``spec``; the
+  fingerprint is derived from the cell specification alone
+  (:func:`~repro.runstate.serialize.spec_fingerprint`), so the same
+  cell executed on two hosts lands in the same group no matter which
+  host ran it.
+- **Integrity-verified, torn-tolerant reads.**  Each line is validated
+  against its own integrity hash (:func:`~repro.runstate.journal
+  .parse_line`); torn trailing records — a worker SIGKILLed mid-append —
+  are counted and skipped, never fatal.
+- **Split-brain refusal.**  Cells are deterministic, so two ``done``
+  records for one fingerprint must agree on everything but ``seq``.  If
+  their semantic digests differ the shards were produced under
+  divergent settings (or one is corrupt) and the merge raises
+  :class:`~repro.errors.MergeConflictError` naming every conflicting
+  fingerprint and the shard each variant came from — it never guesses a
+  winner.
+- **Byte-stable, order-independent output.**  Kept records (the
+  ``done`` set, like ``runs gc``) are sorted by fingerprint and
+  renumbered ``seq`` 1..N, so ``merge(a, b)`` and ``merge(b, a)`` — and
+  ``merge(serial_reference)`` over the same completed cells — produce
+  identical bytes.  ``running`` and ``failed`` records are dropped:
+  resume semantics never reuse them, and a re-leased cell's stale
+  ``running`` entry on a partitioned worker must not shadow the
+  completed result streamed from its replacement.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import JournalError, MergeConflictError
+from .atomic import atomic_write_text
+from .journal import STATUS_DONE, JournalRecord, parse_line, render_line
+from .serialize import integrity_hash
+
+
+def record_digest(record: JournalRecord) -> str:
+    """The semantic identity of one record: everything but ``seq``.
+
+    ``seq`` is shard-local bookkeeping (two hosts number their appends
+    independently); the cell coordinates, status, attempts, kernel
+    cycles and full payload are deterministic functions of the spec, so
+    any divergence in them is a real conflict.
+    """
+    body = record.to_dict()
+    body.pop("seq", None)
+    return integrity_hash(body)
+
+
+@dataclass
+class ShardStats:
+    """What one shard contributed to the merge."""
+
+    path: str
+    records: int = 0
+    done: int = 0
+    torn: int = 0
+
+
+@dataclass
+class MergeReport:
+    """The outcome of one conflict-free merge."""
+
+    text: str
+    """The merged journal, byte-stable and order-independent."""
+    kept: int = 0
+    """Completed cells (one ``done`` record each) in the output."""
+    duplicates: int = 0
+    """Identical ``done`` records dropped as exact re-executions."""
+    dropped: int = 0
+    """``running``/``failed``/superseded records left out."""
+    shards: list[ShardStats] = field(default_factory=list)
+
+
+def _scan_shard(path: str) -> tuple[ShardStats, list[JournalRecord]]:
+    stats = ShardStats(path=path)
+    records: list[JournalRecord] = []
+    if not os.path.exists(path):
+        # A missing shard is an empty shard: a worker that leased
+        # nothing before the partition simply has no journal yet.
+        return stats, records
+    if os.path.isdir(path):
+        raise JournalError(f"journal shard {path!r} is a directory")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise JournalError(
+            f"cannot read journal shard {path!r}: {exc}"
+        ) from exc
+    for line in lines:
+        if not line.strip():
+            continue
+        record = parse_line(line)
+        if record is None:
+            stats.torn += 1
+            continue
+        stats.records += 1
+        if record.status == STATUS_DONE:
+            stats.done += 1
+        records.append(record)
+    return stats, records
+
+
+def merge_journals(paths: Sequence[str]) -> MergeReport:
+    """Merge N journal shards into one canonical journal text.
+
+    Raises:
+        MergeConflictError: two shards hold semantically different
+            ``done`` records for the same spec fingerprint
+            (split-brain) — the report names every such fingerprint.
+        JournalError: a shard path exists but cannot be read.
+    """
+    if not paths:
+        raise JournalError("merge needs at least one journal shard")
+    report = MergeReport(text="")
+    # spec -> digest -> (record, first source path); insertion order of
+    # the digest map preserves which variant was seen first, purely for
+    # the conflict report — a conflict refuses, it never picks.
+    done: dict[str, dict[str, tuple[JournalRecord, str]]] = {}
+    for path in paths:
+        stats, records = _scan_shard(path)
+        report.shards.append(stats)
+        for record in records:
+            if record.status != STATUS_DONE:
+                report.dropped += 1
+                continue
+            variants = done.setdefault(record.spec, {})
+            digest = record_digest(record)
+            if digest in variants:
+                report.duplicates += 1
+            else:
+                variants[digest] = (record, path)
+
+    conflicts: list[dict[str, Any]] = []
+    for spec in sorted(done):
+        variants = done[spec]
+        if len(variants) > 1:
+            first = next(iter(variants.values()))[0]
+            conflicts.append(
+                {
+                    "spec": spec,
+                    "label": first.label,
+                    "variants": [
+                        {
+                            "source": source,
+                            "digest": digest,
+                            "status": record.status,
+                        }
+                        for digest, (record, source) in variants.items()
+                    ],
+                }
+            )
+    if conflicts:
+        raise MergeConflictError(conflicts)
+
+    lines = []
+    for seq, spec in enumerate(sorted(done), start=1):
+        (record, _source) = next(iter(done[spec].values()))
+        merged = JournalRecord(
+            seq=seq,
+            spec=record.spec,
+            status=record.status,
+            cell=record.cell,
+            attempts=record.attempts,
+            kernel_cycles=record.kernel_cycles,
+            payload=record.payload,
+        )
+        lines.append(render_line(merged))
+    report.kept = len(lines)
+    report.text = "".join(line + "\n" for line in lines)
+    return report
+
+
+def write_merged(paths: Sequence[str], out_path: str) -> MergeReport:
+    """Merge shards and write the result atomically to ``out_path``.
+
+    The write is a whole-file atomic replace: a crash mid-merge leaves
+    either the previous file or the complete new one, never a torn mix.
+    """
+    report = merge_journals(paths)
+    atomic_write_text(out_path, report.text)
+    return report
+
+
+def format_conflict_report(error: MergeConflictError) -> str:
+    """The named-fingerprint refusal report for the CLI (stderr)."""
+    lines = [
+        "merge refused: conflicting results (split-brain) for "
+        f"{len(error.conflicts)} fingerprint(s):"
+    ]
+    for conflict in error.conflicts:
+        lines.append(f"  spec {conflict['spec']}  ({conflict['label']})")
+        for variant in conflict["variants"]:
+            lines.append(
+                f"    digest {variant['digest']}  from {variant['source']}"
+            )
+    lines.append(
+        "no records were written; re-run the divergent cells under "
+        "identical settings or drop the corrupt shard, then merge again"
+    )
+    return "\n".join(lines)

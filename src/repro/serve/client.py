@@ -9,11 +9,18 @@ duplicate concurrent submissions dedupe to one execution.
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import ServiceError
+
+RETRYABLE_STATUSES = (429, 503)
+"""Statuses :meth:`SweepClient.request_with_retry` treats as transient
+by default: admission backpressure (429 + Retry-After) and temporary
+unavailability (503)."""
 
 
 @dataclass
@@ -68,6 +75,16 @@ class SweepClient:
         )
         return sock
 
+    # The three socket operations are overridable seams: the chaos
+    # client (repro.dist.netchaos.ChaosClient) wraps them to drop,
+    # delay or sever on a counted schedule.
+
+    def _send(self, sock: socket.socket, data: bytes) -> None:
+        sock.sendall(data)
+
+    def _recv(self, sock: socket.socket, limit: int) -> bytes:
+        return sock.recv(limit)
+
     def request(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> ClientResponse:
@@ -83,14 +100,14 @@ class SweepClient:
         ).encode("ascii")
         sock = self._connect()
         try:
-            sock.sendall(head + body)
+            self._send(sock, head + body)
             # Read headers, then exactly Content-Length body bytes.
             # Never read to EOF: worker processes forked while a
             # connection is open inherit its fd, so the server closing
             # its end does not guarantee an EOF at ours.
             buffered = b""
             while b"\r\n\r\n" not in buffered:
-                chunk = sock.recv(65536)
+                chunk = self._recv(sock, 65536)
                 if not chunk:
                     break
                 buffered += chunk
@@ -109,7 +126,7 @@ class SweepClient:
                         pass
             if content_length is not None:
                 while len(response_body) < content_length:
-                    chunk = sock.recv(65536)
+                    chunk = self._recv(sock, 65536)
                     if not chunk:
                         break
                     response_body += chunk
@@ -139,6 +156,68 @@ class SweepClient:
             status=status, body=parsed, raw=response_body,
             retry_after=retry_after,
         )
+
+    def request_with_retry(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        max_attempts: int = 4,
+        backoff_base: float = 0.1,
+        backoff_max: float = 2.0,
+        retry_statuses: tuple[int, ...] = RETRYABLE_STATUSES,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> ClientResponse:
+        """Opt-in bounded retry around :meth:`request`.
+
+        Transport failures (``OSError`` — connection refused, reset,
+        timed out) and the transient statuses in ``retry_statuses``
+        retry with capped exponential backoff (``base, 2x, 4x, ...``
+        capped at ``backoff_max``) plus seeded jitter — deterministic
+        for a given ``seed``, decorrelated across workers that pass
+        distinct seeds.  A 429/503 carrying ``Retry-After`` is honored:
+        the wait is at least the server's hint (still capped).  After
+        ``max_attempts`` total attempts the last response is returned
+        as-is, or the last ``OSError`` re-raised — the caller keeps the
+        terminal outcome either way, never a synthetic one.
+
+        The plain :meth:`request` stays single-shot: retry is only
+        correct for idempotent exchanges, which every ``repro.dist``
+        call is (lease polls, renewals, integrity-hashed completions
+        deduplicated by spec fingerprint).
+        """
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        rng = random.Random(seed)
+        last_error: Optional[OSError] = None
+        response: Optional[ClientResponse] = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                response = self.request(method, path, payload)
+                last_error = None
+            except OSError as error:
+                last_error = error
+                response = None
+            else:
+                if response.status not in retry_statuses:
+                    return response
+            if attempt == max_attempts:
+                break
+            wait = min(backoff_max, backoff_base * (2 ** (attempt - 1)))
+            if response is not None and response.retry_after is not None:
+                wait = min(backoff_max, max(wait, response.retry_after))
+            # Full jitter on top of the deterministic floor: two
+            # workers hammering one recovering coordinator decorrelate.
+            wait += rng.uniform(0, backoff_base)
+            sleep(wait)
+        if response is not None:
+            return response
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------------
     # Convenience endpoints

@@ -40,6 +40,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",

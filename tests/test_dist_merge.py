@@ -1,0 +1,200 @@
+"""Edge-case tests for the partition-tolerant journal merge
+(repro.runstate.merge) and its ``repro runs merge`` CLI surface."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import cli
+from repro.errors import JournalError, MergeConflictError
+from repro.runstate.journal import JournalRecord, render_line
+from repro.runstate.merge import (
+    format_conflict_report,
+    merge_journals,
+    record_digest,
+    write_merged,
+)
+
+
+def _record(
+    spec: str,
+    status: str = "done",
+    seq: int = 1,
+    kernel_cycles: int = 100,
+    attempts: int = 1,
+) -> JournalRecord:
+    return JournalRecord(
+        seq=seq,
+        spec=spec,
+        status=status,
+        cell={"workload": "bfs", "dataset": "test-small",
+              "policy": "thp", "scenario": "fresh"},
+        attempts=attempts,
+        kernel_cycles=kernel_cycles,
+        payload={"kernel_cycles": kernel_cycles},
+    )
+
+
+def _write_shard(path, records) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(render_line(record) + "\n")
+    return str(path)
+
+
+class TestMergeJournals:
+    def test_empty_shard_merges_to_empty_output(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        report = merge_journals([str(empty)])
+        assert report.text == ""
+        assert report.kept == 0
+        assert report.shards[0].records == 0
+
+    def test_missing_shard_counts_as_empty(self, tmp_path):
+        shard = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        report = merge_journals(
+            [shard, str(tmp_path / "never-written.jsonl")]
+        )
+        assert report.kept == 1
+        assert len(report.shards) == 2
+
+    def test_directory_shard_is_an_error(self, tmp_path):
+        with pytest.raises(JournalError):
+            merge_journals([str(tmp_path)])
+
+    def test_no_shards_is_an_error(self):
+        with pytest.raises(JournalError):
+            merge_journals([])
+
+    def test_duplicate_identical_records_dedupe(self, tmp_path):
+        record = _record("s1")
+        a = _write_shard(tmp_path / "a.jsonl", [record])
+        b = _write_shard(
+            tmp_path / "b.jsonl",
+            [dataclasses.replace(record, seq=7)],  # seq is shard-local
+        )
+        report = merge_journals([a, b])
+        assert report.kept == 1
+        assert report.duplicates == 1
+        assert report.text.count("\n") == 1
+
+    def test_non_final_records_are_dropped(self, tmp_path):
+        shard = _write_shard(
+            tmp_path / "a.jsonl",
+            [
+                _record("s1", status="running"),
+                _record("s2", status="failed", seq=2),
+                _record("s1", seq=3),
+            ],
+        )
+        report = merge_journals([shard])
+        assert report.kept == 1
+        assert report.dropped == 2
+
+    def test_torn_trailing_record_is_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        _write_shard(path, [_record("s1"), _record("s2", seq=2)])
+        with open(path, "a", encoding="utf-8") as handle:
+            line = render_line(_record("s3", seq=3))
+            handle.write(line[: len(line) // 2])  # SIGKILL mid-append
+        report = merge_journals([str(path)])
+        assert report.kept == 2
+        assert report.shards[0].torn == 1
+
+    def test_output_is_order_independent_and_renumbered(self, tmp_path):
+        a = _write_shard(
+            tmp_path / "a.jsonl", [_record("zzz", seq=41)]
+        )
+        b = _write_shard(
+            tmp_path / "b.jsonl", [_record("aaa", seq=99)]
+        )
+        forward = merge_journals([a, b])
+        backward = merge_journals([b, a])
+        assert forward.text == backward.text
+        lines = forward.text.splitlines()
+        assert '"seq":1' in lines[0] and '"spec":"aaa"' in lines[0]
+        assert '"seq":2' in lines[1] and '"spec":"zzz"' in lines[1]
+
+    def test_conflicting_fingerprint_refuses_with_sources(self, tmp_path):
+        a = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        b = _write_shard(
+            tmp_path / "b.jsonl", [_record("s1", kernel_cycles=101)]
+        )
+        with pytest.raises(MergeConflictError) as excinfo:
+            merge_journals([a, b])
+        (conflict,) = excinfo.value.conflicts
+        assert conflict["spec"] == "s1"
+        sources = {variant["source"] for variant in conflict["variants"]}
+        assert sources == {a, b}
+        report = format_conflict_report(excinfo.value)
+        assert "s1" in report
+        assert "merge refused" in report
+
+    def test_record_digest_ignores_seq_only(self):
+        base = _record("s1")
+        assert record_digest(base) == record_digest(
+            dataclasses.replace(base, seq=99)
+        )
+        assert record_digest(base) != record_digest(
+            dataclasses.replace(base, attempts=2)
+        )
+
+    def test_write_merged_is_atomic_and_reports(self, tmp_path):
+        shard = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        out = tmp_path / "merged.jsonl"
+        report = write_merged([shard], str(out))
+        assert report.kept == 1
+        assert out.read_text() == report.text
+
+
+class TestRunsMergeCli:
+    def test_merge_to_file(self, tmp_path, capsys):
+        shard = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        out = tmp_path / "merged.jsonl"
+        rc = cli.main(["runs", "merge", shard, "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "kept 1 completed cell(s)" in capsys.readouterr().err
+
+    def test_merge_to_stdout(self, tmp_path, capsys):
+        shard = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        rc = cli.main(["runs", "merge", shard])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert '"spec":"s1"' in captured.out
+
+    def test_conflict_exits_3_and_writes_nothing(self, tmp_path, capsys):
+        a = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        b = _write_shard(
+            tmp_path / "b.jsonl", [_record("s1", kernel_cycles=101)]
+        )
+        out = tmp_path / "merged.jsonl"
+        rc = cli.main(["runs", "merge", a, b, "--out", str(out)])
+        assert rc == 3
+        assert not out.exists()
+        err = capsys.readouterr().err
+        assert "merge refused" in err and "s1" in err
+
+    def test_merge_without_shards_is_a_usage_error(self, capsys):
+        assert cli.main(["runs", "merge"]) == 2
+        assert "at least one journal shard" in capsys.readouterr().err
+
+    def test_journal_flag_is_prepended_to_shards(self, tmp_path, capsys):
+        a = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        b = _write_shard(tmp_path / "b.jsonl", [_record("s2")])
+        rc = cli.main(["runs", "merge", b, "--journal", a])
+        assert rc == 0
+        assert capsys.readouterr().out.count("\n") == 2
+
+    def test_other_actions_still_require_journal(self, capsys):
+        assert cli.main(["runs", "list"]) == 2
+        assert "requires --journal" in capsys.readouterr().err
+
+    def test_other_actions_reject_positional_shards(self, tmp_path, capsys):
+        shard = _write_shard(tmp_path / "a.jsonl", [_record("s1")])
+        rc = cli.main(["runs", "list", shard, "--journal", shard])
+        assert rc == 2
+        assert "no positional shard" in capsys.readouterr().err

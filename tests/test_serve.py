@@ -381,6 +381,25 @@ class TestCircuitBreaker:
         breaker = CircuitBreaker(path=path, threshold=1, cooldown_seconds=60)
         assert breaker.admit("anything") == STATE_CLOSED
 
+    def test_torn_state_file_starts_closed_and_recovers(self, tmp_path):
+        # Regression: a crash mid-write leaves a truncated-but-valid
+        # JSON prefix on disk.  The breaker must treat the torn read
+        # like a fresh start (no raise, closed state) and still be able
+        # to persist new state over the damaged file.
+        path = str(tmp_path / "breaker.json")
+        writer = CircuitBreaker(path=path, threshold=1, cooldown_seconds=3600)
+        writer.record_failure("s1")
+        with open(path, "r", encoding="utf-8") as handle:
+            full = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(full[: len(full) // 2])
+        torn = CircuitBreaker(path=path, threshold=1, cooldown_seconds=3600)
+        assert torn.admit("s1") == STATE_CLOSED
+        assert torn.snapshot() == {}
+        torn.record_failure("s2")
+        healed = CircuitBreaker(path=path, threshold=1, cooldown_seconds=3600)
+        assert healed.is_open("s2")
+
 
 # ----------------------------------------------------------------------
 # Response rendering

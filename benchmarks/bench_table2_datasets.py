@@ -3,9 +3,17 @@
 The scaled dataset registry must preserve the paper's relative shape:
 Wikipedia smallest, SSSP footprints ~1.5x BFS (extra values array),
 PageRank slightly above BFS (extra rank array).
+
+The million-vertex scale tier (``kron-m``/``uniform-m``/``road-m``)
+rides the same inventory: the second test builds each scale-tier graph
+and checks the tier actually sits an order of magnitude above the
+evaluation datasets, with ``road-m`` small enough that a fully
+huge-backed footprint fits the paper machine's L1 TLB reach (the
+translation-kernel benchmark's closed cell).
 """
 
 from repro.experiments import figures
+from repro.graph.datasets import SCALE_TIER_DATASETS, clear_dataset_cache
 
 
 def test_table2_datasets(benchmark, runner, workloads, datasets, report):
@@ -28,3 +36,36 @@ def test_table2_datasets(benchmark, runner, workloads, datasets, report):
     if "wiki-s" in datasets and "kron-s" in datasets:
         first = workloads[0]
         assert by_cell[(first, "wiki-s")] < by_cell[(first, "kron-s")]
+
+
+def test_table2_scale_tier(benchmark, runner, sweep_record):
+    result = benchmark.pedantic(
+        figures.table2_datasets,
+        args=(runner,),
+        kwargs={"workloads": ("pagerank",), "datasets": SCALE_TIER_DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["dataset"]: row for row in result.rows}
+    assert set(rows) == set(SCALE_TIER_DATASETS)
+    for row in rows.values():
+        assert row["vertices"] >= 1_000_000
+    # road-m is the tier's closed cell: ~24 huge pages when fully
+    # 2MB-backed, under the paper machine's 32-entry L1-huge reach.
+    huge_pages = -(-rows["road-m"]["footprint_bytes"] // (2 << 20))
+    assert huge_pages <= 32
+    sweep_record(
+        "scale_tier_datasets",
+        {
+            "datasets": {
+                name: {
+                    "vertices": row["vertices"],
+                    "edges": row["edges"],
+                    "footprint_bytes": row["footprint_bytes"],
+                }
+                for name, row in rows.items()
+            },
+            "road_m_huge_pages": huge_pages,
+        },
+    )
+    clear_dataset_cache()

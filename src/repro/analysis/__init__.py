@@ -3,8 +3,9 @@
 Three halves:
 
 - :mod:`repro.analysis.lint` — AST-based repo-specific lint rules
-  (REP001–REP008 per-file/project rules plus the interprocedural
-  ConcSan rules REP009–REP011) runnable as ``python -m repro.analysis``;
+  (REP001–REP008 and REP012 per-file/project rules plus the
+  interprocedural ConcSan rules REP009–REP011) runnable as
+  ``python -m repro.analysis``;
 - :mod:`repro.analysis.sanitizer` — "MemSan", a runtime invariant
   checker for the simulated memory subsystem, enabled with
   ``REPRO_SANITIZE=1`` or ``--sanitize``;

@@ -30,9 +30,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "unit safety (REP003), fault-site completeness (REP004), "
             "ledger hygiene (REP005), export hygiene (REP006), "
             "durable-write discipline (REP007), tracer emission "
-            "discipline (REP008), and the ConcSan concurrency rules — "
+            "discipline (REP008), the ConcSan concurrency rules — "
             "lock discipline (REP009), fork/spawn safety (REP010) and "
-            "crash consistency (REP011)."
+            "crash consistency (REP011) — and vectorized trace "
+            "discipline (REP012)."
         ),
     )
     parser.add_argument(

@@ -97,6 +97,13 @@ RULE_SUMMARIES: dict[str, str] = {
         "torn-write story — writes go through runstate.atomic and "
         "json parses of durable state tolerate torn records"
     ),
+    "REP012": (
+        "vectorized trace discipline: no per-element Python loops over "
+        "TlbTrace arrays (run_keys/run_counts/lookup_view views) "
+        "outside repro/tlb/engine.py and repro/tlb/hierarchy.py; "
+        "consume translation streams through numpy set-wise ops or a "
+        "hierarchy's simulate()"
+    ),
 }
 """One-line summary per rule, used by ``--list-rules`` and the docs."""
 

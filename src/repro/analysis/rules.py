@@ -1,4 +1,4 @@
-"""Per-file AST lint rules (REP001–REP003, REP005–REP007).
+"""Per-file AST lint rules (REP001–REP003, REP005–REP008, REP012).
 
 Each rule is a function taking a :class:`ModuleContext` and returning
 raw findings; suppression filtering happens in the driver
@@ -967,6 +967,148 @@ def check_rep008(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+# ----------------------------------------------------------------------
+# REP012 — vectorized trace discipline
+# ----------------------------------------------------------------------
+
+TLB_ENGINE_FILES = ("tlb/engine.py", "tlb/hierarchy.py")
+"""The two modules allowed to walk TlbTrace arrays element-wise (the
+exact reference simulator and the batch engine's decision procedures)."""
+
+TRACE_ARRAY_ATTRS = frozenset(
+    {
+        "run_keys",
+        "run_counts",
+        "run_array_ids",
+        "lookup_keys",
+        "lookup_array_ids",
+    }
+)
+"""TlbTrace array fields (and the conventional names of
+``lookup_view()`` unpacks) whose per-element iteration REP012 bans."""
+
+_ARRAY_PROPAGATORS = frozenset({"astype", "copy", "reshape", "view"})
+"""Methods that return (a view of) the same array — taint flows through."""
+
+_ITER_WRAPPERS = frozenset(
+    {"enumerate", "iter", "list", "map", "filter", "reversed", "tuple", "zip"}
+)
+
+
+def _trace_array_like(node: ast.AST, tainted: set[str]) -> bool:
+    """Whether ``node`` statically looks like a TlbTrace array value."""
+    if isinstance(node, ast.Name):
+        return node.id in tainted or node.id in TRACE_ARRAY_ATTRS
+    if isinstance(node, ast.Attribute):
+        return node.attr in TRACE_ARRAY_ATTRS
+    if isinstance(node, ast.Subscript):
+        return _trace_array_like(node.value, tainted)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr == "lookup_view":
+            return True
+        if node.func.attr in _ARRAY_PROPAGATORS:
+            return _trace_array_like(node.func.value, tainted)
+    return False
+
+
+def _collect_trace_taint(tree: ast.Module) -> set[str]:
+    """Names bound (transitively) to TlbTrace arrays."""
+    tainted: set[str] = set()
+    while True:
+        before = len(tainted)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and _trace_array_like(
+                    node.value, tainted
+                ):
+                    tainted.add(target.id)
+                elif isinstance(target, ast.Tuple) and (
+                    isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "lookup_view"
+                ):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            tainted.add(elt.id)
+        if len(tainted) == before:
+            return tainted
+
+
+def _is_per_element_iter(iterated: ast.AST, tainted: set[str]) -> bool:
+    """Whether an iterated expression walks a trace array element-wise."""
+    if _trace_array_like(iterated, tainted):
+        return True
+    if not isinstance(iterated, ast.Call):
+        return False
+    func = iterated.func
+    if isinstance(func, ast.Attribute) and func.attr == "tolist":
+        return _trace_array_like(func.value, tainted)
+    if not isinstance(func, ast.Name):
+        return False
+    if func.id in _ITER_WRAPPERS:
+        return any(
+            _is_per_element_iter(arg, tainted) for arg in iterated.args
+        )
+    if func.id == "range" and len(iterated.args) == 1:
+        # range(len(keys)) / range(keys.size): indexed element loops.
+        arg = iterated.args[0]
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Name)
+            and arg.func.id == "len"
+            and arg.args
+        ):
+            return _trace_array_like(arg.args[0], tainted)
+        if isinstance(arg, ast.Attribute) and arg.attr == "size":
+            return _trace_array_like(arg.value, tainted)
+    return False
+
+
+def check_rep012(ctx: ModuleContext) -> list[Finding]:
+    """Flag per-element Python loops over TlbTrace arrays.
+
+    Interpreting a translation stream one lookup at a time is the
+    ~100ns-per-element pattern the batch engine exists to replace
+    (docs/performance.md); outside the two sanctioned modules, trace
+    arrays must be consumed through numpy set-wise operations or handed
+    to a hierarchy's ``simulate``.
+    """
+    relpath = ctx.relpath.replace("\\", "/")
+    if relpath.endswith(TLB_ENGINE_FILES):
+        return []
+    tainted = _collect_trace_taint(ctx.tree)
+    findings: list[Finding] = []
+    seen: set[tuple[int, int]] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            sources = [node.iter]
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            sources = [comp.iter for comp in node.generators]
+        else:
+            continue
+        if not any(_is_per_element_iter(src, tainted) for src in sources):
+            continue
+        key = (node.lineno, node.col_offset)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            _finding(
+                ctx, node, "REP012",
+                "per-element Python loop over TlbTrace arrays; use "
+                "numpy set-wise operations or the batch translation "
+                "engine (repro.tlb.engine) — only tlb/engine.py and "
+                "tlb/hierarchy.py may walk translation streams "
+                "element-wise",
+            )
+        )
+    return findings
+
+
 PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -975,5 +1117,6 @@ PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP006": check_rep006,
     "REP007": check_rep007,
     "REP008": check_rep008,
+    "REP012": check_rep012,
 }
 """Per-file rule registry; REP004 is project-wide (see ``project.py``)."""

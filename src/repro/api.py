@@ -35,6 +35,7 @@ from .config import (
     get_profile,
     paper_x86,
     scaled,
+    scaled_1m,
     tiny,
 )
 from .core import (
@@ -121,11 +122,19 @@ from .runstate.merge import (
     write_merged,
 )
 from .serve import ServiceConfig, SweepClient
+from .tlb import (
+    TLB_ENGINES,
+    BatchTranslationHierarchy,
+    TranslationHierarchy,
+    batch_engine_matches,
+    make_hierarchy,
+)
 from .units import format_bytes
 from .workloads import Bfs, PageRank, Sssp, create_workload
 
 __all__ = [
     "AdvisorReport",
+    "BatchTranslationHierarchy",
     "Bfs",
     "ChaosPlan",
     "CsrGraph",
@@ -157,15 +166,18 @@ __all__ = [
     "ServiceConfig",
     "Sssp",
     "SweepClient",
+    "TLB_ENGINES",
     "ThpMode",
     "ThpPolicy",
     "Tracer",
+    "TranslationHierarchy",
     "WorkerConfig",
     "ablation_alloc_order_census",
     "ablation_promotion_path",
     "ablation_reorder",
     "apply_order",
     "autotuner_policy",
+    "batch_engine_matches",
     "constrained",
     "create_workload",
     "dbg_order",
@@ -193,6 +205,7 @@ __all__ = [
     "hugetlb_policy",
     "load_dataset",
     "load_edge_list",
+    "make_hierarchy",
     "merge_journals",
     "page_cache_interference",
     "paper_x86",
@@ -204,6 +217,7 @@ __all__ = [
     "run_scenarios",
     "save_edge_list",
     "scaled",
+    "scaled_1m",
     "selective_policy",
     "selective_property_plan",
     "summarize",

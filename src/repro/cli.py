@@ -52,6 +52,16 @@ def _add_common_machine_args(parser: argparse.ArgumentParser) -> None:
         choices=sorted(PROFILES),
         help="machine profile (default: scaled)",
     )
+    parser.add_argument(
+        "--tlb-engine",
+        default="auto",
+        choices=("exact", "batch", "auto"),
+        dest="tlb_engine",
+        help="translation engine: 'exact' (reference per-lookup "
+        "simulator), 'batch' (vectorized set-wise engine, identical "
+        "counts), or 'auto' (batch after a per-geometry equivalence "
+        "self-check; default)",
+    )
 
 
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:

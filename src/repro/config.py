@@ -282,6 +282,30 @@ def scaled() -> MachineConfig:
     )
 
 
+def scaled_1m() -> MachineConfig:
+    """Million-vertex scale tier (the ``*-m`` datasets).
+
+    The ``scaled`` profile's ratio discipline applied to 1M-2M-vertex
+    graphs: 16x the vertices means 16x the node memory and 16x the TLB
+    reach, keeping the same footprint-to-coverage regime — an 8MB
+    property array spans 2048 base pages against 512KB of L1 reach and
+    4MB of STLB reach (over-committed, as in the paper), but only 256
+    of its 32KB huge pages (covered).  L2 associativity grows to 8 ways
+    alongside capacity, mirroring how real STLBs add ways as they grow
+    (Table 1's STLB is 12-way at 1536 entries).
+    """
+    return MachineConfig(
+        name="scaled-1m",
+        pages=PageConfig(base_page_size=4 * KiB, huge_page_size=32 * KiB),
+        tlb=TlbConfig(
+            l1_base=TlbGeometry(entries=128, ways=4),
+            l1_huge=TlbGeometry(entries=128, ways=4),
+            l2=TlbGeometry(entries=1024, ways=8),
+        ),
+        node_memory_bytes=1 * GiB,
+    )
+
+
 def tiny() -> MachineConfig:
     """Minimal profile for fast unit tests."""
     return MachineConfig(
@@ -300,6 +324,7 @@ def tiny() -> MachineConfig:
 PROFILES = {
     "paper-x86": paper_x86,
     "scaled": scaled,
+    "scaled-1m": scaled_1m,
     "tiny": tiny,
 }
 """Registry of named machine profiles."""

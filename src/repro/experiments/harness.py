@@ -875,6 +875,7 @@ class ExperimentRunner:
             # trace=True arms a fresh per-cell tracer (repro.obs).
             sanitize=True if self.run_config.sanitize else None,
             trace=self.run_config.trace,
+            tlb_engine=self.run_config.tlb_engine,
         )
         layout = MemoryLayout(workload, policy.plan.order)
         self._apply_scenario(machine, scenario, layout, policy.plan)

@@ -69,6 +69,15 @@ class RunConfig:
             simulated machine; events and counter snapshots ride on
             each cell's :class:`~repro.machine.metrics.RunMetrics` and
             accumulate on the runner's ``trace_log``.
+        tlb_engine: translation engine per simulated cell — ``"exact"``
+            (the reference per-lookup simulator), ``"batch"`` (the
+            vectorized set-wise engine, docs/performance.md) or
+            ``"auto"`` (batch after a one-time per-geometry equivalence
+            self-check, falling back to exact).  Both engines produce
+            identical counts, so the engine is pure execution policy:
+            it is *excluded* from journal spec fingerprints, and a
+            sweep journaled under one engine resumes cleanly under the
+            other.
     """
 
     workers: int = 1
@@ -82,6 +91,7 @@ class RunConfig:
     fault_seed: int = 0
     sanitize: bool = False
     trace: bool = False
+    tlb_engine: str = "auto"
 
     def __post_init__(self) -> None:
         # Normalization first (idempotent: replace() re-runs this).
@@ -129,6 +139,11 @@ class RunConfig:
             raise ConfigError(
                 "faults must be a FaultPlan or a plan string, "
                 f"got {type(self.faults).__name__}"
+            )
+        if self.tlb_engine not in ("exact", "batch", "auto"):
+            raise ConfigError(
+                "tlb_engine must be one of 'exact', 'batch', 'auto', "
+                f"got {self.tlb_engine!r}"
             )
 
     def replace(self, **changes: Any) -> "RunConfig":
@@ -188,4 +203,5 @@ class RunConfig:
             fault_seed=fault_seed,
             sanitize=getattr(args, "sanitize", False),
             trace=bool(getattr(args, "trace", None)),
+            tlb_engine=getattr(args, "tlb_engine", None) or "auto",
         )

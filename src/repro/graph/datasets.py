@@ -21,6 +21,20 @@ Wikipedia      ``wiki-s``          65,536     786,432     moderate skew +
                                                           community
 =============  ==================  =========  ==========  ===============
 
+The million-vertex scale tier (``SCALE_TIER_DATASETS``) extends the
+registry past the ``-s`` inputs for the batch translation engine and
+the ``scaled-1m`` machine profile:
+
+=============  ==========  ==========  ==================================
+Registry       Vertices    Edges       Character
+=============  ==========  ==========  ==================================
+``kron-m``     1,048,576   8,388,608   R-MAT scale 20, shuffled labels
+``uniform-m``  1,048,576   8,388,608   uniform, no-skew control
+``road-m``     1,048,576   2,097,152   uniform, road-like sparsity;
+                                       fits L1 TLB reach when fully
+                                       huge-page-backed
+=============  ==========  ==========  ==================================
+
 Every dataset is deterministic (fixed seed) and cached in-process, since
 experiments reuse the same input across dozens of cells.
 """
@@ -105,6 +119,34 @@ def _wiki(weighted: bool) -> CsrGraph:
     )
 
 
+def _kron_m(weighted: bool) -> CsrGraph:
+    return rmat_graph(
+        scale=20,
+        num_edges=8_388_608,
+        seed=25,
+        shuffle_labels=True,
+        weighted=weighted,
+    )
+
+
+def _uniform_m(weighted: bool) -> CsrGraph:
+    return uniform_graph(
+        num_vertices=1_048_576,
+        num_edges=8_388_608,
+        seed=33,
+        weighted=weighted,
+    )
+
+
+def _road_m(weighted: bool) -> CsrGraph:
+    return uniform_graph(
+        num_vertices=1_048_576,
+        num_edges=2_097_152,
+        seed=41,
+        weighted=weighted,
+    )
+
+
 def _test_small(weighted: bool) -> CsrGraph:
     return uniform_graph(num_vertices=512, num_edges=4096, seed=7,
                          weighted=weighted)
@@ -135,6 +177,30 @@ DATASETS: dict[str, DatasetSpec] = {
         "link graph: moderate skew and community structure",
         _wiki,
     ),
+    "kron-m": DatasetSpec(
+        "kron-m",
+        "Kronecker25 (Kr25, 1M-vertex tier)",
+        "Graph500 R-MAT at scale 20: 1,048,576 vertices, 8,388,608 "
+        "edges, labels shuffled — the million-vertex scale tier, "
+        "paired with the scaled-1m machine profile",
+        _kron_m,
+    ),
+    "uniform-m": DatasetSpec(
+        "uniform-m",
+        "(scale tier control)",
+        "uniform 1,048,576-vertex, 8,388,608-edge graph: no-skew "
+        "control for the million-vertex tier",
+        _uniform_m,
+    ),
+    "road-m": DatasetSpec(
+        "road-m",
+        "(scale tier, road-like sparsity)",
+        "uniform 1,048,576-vertex, 2,097,152-edge graph: road-network "
+        "average degree, small enough (~40MB of arrays) that a fully "
+        "huge-page-backed placement fits the paper machine's L1 TLB "
+        "reach — the regime where translation is nearly free",
+        _road_m,
+    ),
     "test-small": DatasetSpec(
         "test-small",
         "(test only)",
@@ -145,6 +211,13 @@ DATASETS: dict[str, DatasetSpec] = {
 
 EVALUATION_DATASETS = ("kron-s", "twitter-s", "web-s", "wiki-s")
 """The Table 2 inputs, in the paper's presentation order."""
+
+SCALE_TIER_DATASETS = ("kron-m", "uniform-m", "road-m")
+"""Million-vertex synthetic datasets (run with the ``scaled-1m``
+machine profile; see :func:`repro.config.scaled_1m`).  ``road-m`` is
+also the translation-kernel benchmark's huge-page-backed cell: its
+footprint fits the paper machine's L1 TLB reach under a full hugetlb
+placement."""
 
 PAPER_NAME_ALIASES = {
     "kr25": "kron-s",

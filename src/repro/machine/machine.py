@@ -36,7 +36,8 @@ from ..mem.thp import ThpPolicy
 from ..mem.vmm import VirtualMemoryManager
 from ..obs.tracer import Tracer
 from ..runstate.watchdog import CellWatchdog
-from ..tlb.hierarchy import TranslationHierarchy, TranslationStats
+from ..tlb.engine import make_hierarchy
+from ..tlb.hierarchy import TranslationStats
 from ..workloads.base import ARRAY_NAMES, Workload
 from ..workloads.layout import MemoryLayout
 from .metrics import RunMetrics
@@ -57,8 +58,13 @@ class Machine:
         injector: Optional[FaultInjector] = None,
         sanitize: Optional[bool] = None,
         trace: "Optional[Tracer | bool]" = None,
+        tlb_engine: str = "auto",
     ) -> None:
         self.config = config if config is not None else scaled()
+        # Translation engine policy ("exact" | "batch" | "auto"); both
+        # engines produce identical counts, so this is an execution
+        # knob, never part of a cell's identity.
+        self.tlb_engine = tlb_engine
         self.thp = thp if thp is not None else ThpPolicy.never()
         if injector is None:
             plan = faults if faults is not None else self.config.fault_plan
@@ -261,7 +267,7 @@ class Machine:
 
         # Phase 3: compute.
         cost = self.config.cost
-        hierarchy = TranslationHierarchy(self.config.tlb)
+        hierarchy = make_hierarchy(self.tlb_engine, self.config.tlb)
         hierarchy.tracer = tracer
         stats = TranslationStats()
         compute_start_cycles = ledger.total_cycles

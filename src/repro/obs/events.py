@@ -74,6 +74,7 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
     # -- TLB hierarchy -------------------------------------------------
     "tlb.stream": {
         "stream": "index",
+        "engine": "name",
         "accesses": "count",
         "l1_misses": "count",
         "walks": "count",

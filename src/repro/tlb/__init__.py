@@ -6,17 +6,31 @@
 - :mod:`repro.tlb.hierarchy` — the paper's two-level hierarchy: split L1
   DTLB (separate structures per page size, Table 1) over a unified STLB,
   with per-data-structure miss attribution.
+- :mod:`repro.tlb.engine` — the vectorized batch translation engine: a
+  set-wise LRU decision procedure producing counts identical to the
+  exact simulator, at a fraction of the per-lookup cost
+  (docs/performance.md).
 """
 
 from .trace import AccessStream, TlbTrace, merge_streams
 from .tlb import SetAssociativeTlb
 from .hierarchy import TranslationHierarchy, TranslationStats
+from .engine import (
+    TLB_ENGINES,
+    BatchTranslationHierarchy,
+    batch_engine_matches,
+    make_hierarchy,
+)
 
 __all__ = [
     "AccessStream",
+    "BatchTranslationHierarchy",
     "SetAssociativeTlb",
+    "TLB_ENGINES",
     "TlbTrace",
     "TranslationHierarchy",
     "TranslationStats",
+    "batch_engine_matches",
+    "make_hierarchy",
     "merge_streams",
 ]

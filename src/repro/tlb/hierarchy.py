@@ -20,10 +20,13 @@ import numpy as np
 
 from ..config import CostModel, TlbConfig
 from .tlb import SetAssociativeTlb
-from .trace import TlbTrace
+from .trace import MAX_ARRAY_IDS, TlbTrace
 
-MAX_ARRAY_IDS = 8
-"""Upper bound on distinct data-structure ids in one workload."""
+__all__ = [
+    "MAX_ARRAY_IDS",
+    "TranslationHierarchy",
+    "TranslationStats",
+]
 
 
 @dataclass
@@ -105,6 +108,9 @@ class TranslationStats:
 class TranslationHierarchy:
     """Split L1 DTLB + unified STLB, simulated over compressed traces."""
 
+    engine = "exact"
+    """Engine name stamped on ``tlb.stream`` observability events."""
+
     def __init__(self, config: TlbConfig) -> None:
         self.config = config
         self.l1_base = SetAssociativeTlb(config.l1_base)
@@ -150,8 +156,7 @@ class TranslationHierarchy:
         lookup loop walks the coalesced view (adjacent same-key runs are
         a single lookup — see :meth:`TlbTrace.lookup_view`).
         """
-        if trace.counts.size:
-            np.add.at(stats.accesses, trace.array_ids, trace.counts)
+        stats.accesses += trace.access_totals()
         lookup_keys, lookup_array_ids = trace.lookup_view()
 
         l1b_sets = self.l1_base.sets
@@ -219,6 +224,7 @@ class TranslationHierarchy:
             tracer.emit(
                 "tlb.stream",
                 stream=self._stream,
+                engine=self.engine,
                 accesses=int(trace.counts.sum()) if trace.counts.size else 0,
                 l1_misses=sum(l1m_l),
                 walks=sum(wlk_l),

@@ -22,6 +22,9 @@ from typing import Optional
 
 import numpy as np
 
+MAX_ARRAY_IDS = 8
+"""Upper bound on distinct data-structure ids in one workload."""
+
 
 @dataclass
 class AccessStream:
@@ -94,6 +97,8 @@ class TlbTrace:
     # :func:`compress_trace`, lazily for hand-assembled traces.
     _lookup_keys: Optional[np.ndarray] = field(default=None, repr=False)
     _lookup_array_ids: Optional[np.ndarray] = field(default=None, repr=False)
+    # Per-array access totals (see :meth:`access_totals`), same policy.
+    _access_totals: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def total_accesses(self) -> int:
@@ -125,6 +130,31 @@ class TlbTrace:
             )
         assert self._lookup_array_ids is not None
         return self._lookup_keys, self._lookup_array_ids
+
+    def access_totals(self) -> np.ndarray:
+        """Accesses attributed per array id (length ``MAX_ARRAY_IDS``).
+
+        A trace property, not a simulation result: attribution depends
+        only on the run arrays, never on TLB state, so it is computed
+        once at trace build time and shared by every engine that
+        simulates the trace.
+        """
+        if self._access_totals is None:
+            self._access_totals = _access_totals(self.array_ids, self.counts)
+        return self._access_totals
+
+
+def _access_totals(array_ids: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-array access totals (build-time helper).
+
+    bincount is a single C pass; run lengths are integers, so the
+    float64 accumulation is exact (totals are far below 2**53).
+    """
+    if counts.size == 0:
+        return np.zeros(MAX_ARRAY_IDS, dtype=np.int64)
+    return np.bincount(
+        array_ids, weights=counts, minlength=MAX_ARRAY_IDS
+    ).astype(np.int64)
 
 
 def _coalesce_lookups(
@@ -167,11 +197,13 @@ def compress_trace(
     counts = np.diff(np.append(starts, n))
     run_keys = keys[starts].astype(np.int64)
     run_array_ids = array_ids[starts].astype(np.uint8)
+    run_counts = counts.astype(np.int64)
     lookup_keys, lookup_array_ids = _coalesce_lookups(run_keys, run_array_ids)
     return TlbTrace(
         run_keys,
-        counts.astype(np.int64),
+        run_counts,
         run_array_ids,
         lookup_keys,
         lookup_array_ids,
+        _access_totals(run_array_ids, run_counts),
     )

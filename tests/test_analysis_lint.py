@@ -441,6 +441,77 @@ class TestPragmaSpans:
         assert rules_of(src) == ["REP001"]
 
 
+# ----------------------------------------------------------------------
+# REP012 — vectorized trace discipline
+# ----------------------------------------------------------------------
+
+
+class TestRep012:
+    def test_for_over_trace_attribute(self):
+        src = "for key in trace.run_keys:\n    total += key\n"
+        assert rules_of(src) == ["REP012"]
+
+    def test_zip_over_trace_arrays(self):
+        src = (
+            "for key, count in zip(trace.run_keys, trace.run_counts):\n"
+            "    pass\n"
+        )
+        assert rules_of(src) == ["REP012"]
+
+    def test_lookup_view_unpack_then_loop(self):
+        src = (
+            "keys, aids = trace.lookup_view()\n"
+            "for key in keys:\n"
+            "    pass\n"
+        )
+        assert rules_of(src) == ["REP012"]
+
+    def test_range_len_indexed_loop(self):
+        src = (
+            "keys = trace.run_keys\n"
+            "for i in range(len(keys)):\n"
+            "    k = keys[i]\n"
+        )
+        assert rules_of(src) == ["REP012"]
+
+    def test_comprehension_over_tolist(self):
+        src = "hot = [k for k in trace.lookup_keys.tolist() if k & 1]\n"
+        assert rules_of(src) == ["REP012"]
+
+    def test_taint_through_astype(self):
+        src = (
+            "narrow = trace.run_keys.astype('int32')\n"
+            "for key in narrow:\n"
+            "    pass\n"
+        )
+        assert rules_of(src) == ["REP012"]
+
+    def test_vectorized_consumption_passes(self):
+        src = (
+            "import numpy as np\n"
+            "keys, aids = trace.lookup_view()\n"
+            "misses = np.bincount(aids, minlength=8)\n"
+            "total = int(trace.run_counts.sum())\n"
+        )
+        assert rules_of(src) == []
+
+    def test_engine_and_hierarchy_are_exempt(self):
+        src = "for key in trace.run_keys:\n    pass\n"
+        assert rules_of(src, "repro/tlb/engine.py") == []
+        assert rules_of(src, "repro/tlb/hierarchy.py") == []
+
+    def test_unrelated_loops_pass(self):
+        src = "for chunk in chunks:\n    process(chunk)\n"
+        assert rules_of(src) == []
+
+    def test_noqa(self):
+        src = (
+            "for key in trace.run_keys:  # repro: noqa REP012\n"
+            "    pass\n"
+        )
+        assert rules_of(src) == []
+
+
 class TestBaseline:
     def _write_bad(self, tmp_path, extra=""):
         (tmp_path / "bad.py").write_text(
@@ -529,7 +600,7 @@ class TestDriver:
 
     def test_rule_catalogue_complete(self):
         assert ALL_RULES == tuple(sorted(RULE_SUMMARIES))
-        assert len(ALL_RULES) == 12
+        assert len(ALL_RULES) == 13
 
     def test_syntax_error_reported_not_fatal(self, tmp_path):
         (tmp_path / "bad.py").write_text("def broken(:\n")

@@ -15,14 +15,9 @@ paper's programmer-guided selective THP, under fragmentation.
 
 from repro.experiments import figures
 from repro.experiments.harness import ExperimentRunner
-from repro.experiments.policies import (
-    POLICIES,
-    autotuner_policy,
-    hotness_manager_policy,
-    selective_policy,
-    utilization_manager_policy,
-)
+from repro.experiments.policies import POLICIES, selective_policy
 from repro.experiments.scenarios import fragmented
+from repro.policy.registry import get_policy
 
 
 def test_ablation_heuristic_managers(benchmark, runner, datasets, report):
@@ -41,9 +36,9 @@ def test_ablation_heuristic_managers(benchmark, runner, datasets, report):
             row = {"dataset": dataset}
             cells = {
                 "thp_greedy": POLICIES["thp"],
-                "ingens_like": utilization_manager_policy(),
-                "hawkeye_like": hotness_manager_policy(),
-                "autotuner": autotuner_policy(),
+                "ingens_like": get_policy("ingens"),
+                "hawkeye_like": get_policy("hawkeye"),
+                "autotuner": get_policy("autotuner"),
                 "selective_s20": selective_policy(
                     0.2, reorder=figures.recommended_reorder(runner, dataset)
                 ),

@@ -18,10 +18,12 @@ import os
 import tempfile
 
 from repro.api import (
+    AdvisorHook,
     Bfs,
     Machine,
     ORDERINGS,
     PageSizeAdvisor,
+    ThpMode,
     ThpPolicy,
     load_edge_list,
     power_law_graph,
@@ -77,7 +79,12 @@ def main() -> None:
         plan = report.plan
         ordering = ORDERINGS[plan.reorder](graph)
         run_graph = graph.relabel(ordering)
-        machine = Machine(thp=ThpPolicy.madvise())
+        # The advisor's run-time half is a PagePolicy hook: every
+        # fault/khugepaged/demote decision flows through AdvisorHook
+        # (docs/policies.md) instead of the madvise mode knob.
+        machine = Machine(
+            thp=ThpPolicy(mode=ThpMode.MADVISE, hooks=AdvisorHook())
+        )
         planned = machine.run(Bfs(run_graph), plan=plan, dataset=name)
         baseline = Machine(thp=ThpPolicy.never()).run(
             Bfs(graph), dataset=name

@@ -22,9 +22,8 @@ import sys
 
 from repro.api import (
     ExperimentRunner,
-    POLICIES,
-    autotuner_policy,
     fragmented,
+    get_policy,
     recommended_reorder,
     selective_policy,
 )
@@ -35,9 +34,15 @@ def main() -> None:
     runner = ExperimentRunner()
     scenario = fragmented(0.5)
 
-    base = runner.run_cell("bfs", dataset, POLICIES["base4k"], scenario)
-    greedy = runner.run_cell("bfs", dataset, POLICIES["thp"], scenario)
-    tuner = runner.run_cell("bfs", dataset, autotuner_policy(), scenario)
+    # Policies come from the zoo registry — the same names the CLI's
+    # `--policy` flag accepts (see `repro policies`).
+    base = runner.run_cell("bfs", dataset, get_policy("never"), scenario)
+    greedy = runner.run_cell(
+        "bfs", dataset, get_policy("greedy-always"), scenario
+    )
+    tuner = runner.run_cell(
+        "bfs", dataset, get_policy("autotuner"), scenario
+    )
     static = runner.run_cell(
         "bfs",
         dataset,

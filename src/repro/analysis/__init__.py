@@ -3,7 +3,7 @@
 Three halves:
 
 - :mod:`repro.analysis.lint` — AST-based repo-specific lint rules
-  (REP001–REP008 and REP012 per-file/project rules plus the
+  (REP001–REP008, REP012 and REP013 per-file/project rules plus the
   interprocedural ConcSan rules REP009–REP011) runnable as
   ``python -m repro.analysis``;
 - :mod:`repro.analysis.sanitizer` — "MemSan", a runtime invariant

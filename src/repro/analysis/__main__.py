@@ -32,8 +32,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "durable-write discipline (REP007), tracer emission "
             "discipline (REP008), the ConcSan concurrency rules — "
             "lock discipline (REP009), fork/spawn safety (REP010) and "
-            "crash consistency (REP011) — and vectorized trace "
-            "discipline (REP012)."
+            "crash consistency (REP011) — vectorized trace "
+            "discipline (REP012) and the policy hook sandbox (REP013)."
         ),
     )
     parser.add_argument(

@@ -104,6 +104,14 @@ RULE_SUMMARIES: dict[str, str] = {
         "consume translation streams through numpy set-wise ops or a "
         "hierarchy's simulate()"
     ),
+    "REP013": (
+        "policy hook sandbox: PagePolicy callbacks (on_fault / "
+        "on_khugepaged_scan / on_demote_scan) are deterministic pure "
+        "functions of their inputs — no wall clocks, no ambient RNG, "
+        "no writes through the read-only PolicyView, no filesystem/"
+        "process/network access, imports limited to an allowlist "
+        "(docs/policies.md)"
+    ),
 }
 """One-line summary per rule, used by ``--list-rules`` and the docs."""
 

@@ -1,4 +1,5 @@
-"""Per-file AST lint rules (REP001–REP003, REP005–REP008, REP012).
+"""Per-file AST lint rules (REP001–REP003, REP005–REP008, REP012,
+REP013).
 
 Each rule is a function taking a :class:`ModuleContext` and returning
 raw findings; suppression filtering happens in the driver
@@ -1109,6 +1110,189 @@ def check_rep012(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+# ----------------------------------------------------------------------
+# REP013 — policy hook sandbox
+# ----------------------------------------------------------------------
+
+HOOK_METHODS = frozenset({"on_fault", "on_khugepaged_scan", "on_demote_scan"})
+"""The :class:`repro.policy.hooks.PagePolicy` decision points."""
+
+POLICY_IMPORT_ALLOWLIST = frozenset(
+    {
+        "bisect",
+        "collections",
+        "dataclasses",
+        "enum",
+        "functools",
+        "heapq",
+        "itertools",
+        "math",
+        "numpy",
+        "operator",
+        "repro",
+        "typing",
+    }
+)
+"""Module roots a policy hook body may import from.  Everything else —
+clocks, entropy, filesystems, processes — is outside the sandbox."""
+
+_POLICY_BANNED_ROOTS: dict[str, str] = {
+    "time": "clock reads are nondeterministic",
+    "datetime": "wall-clock time is nondeterministic",
+    "random": "ambient RNG breaks bit-for-bit reproducibility",
+    "secrets": "entropy sources are nondeterministic",
+    "uuid": "uuid state mixes in clock and entropy",
+    "os": "ambient process/filesystem state is outside the sandbox",
+    "sys": "interpreter state is outside the sandbox",
+    "subprocess": "process spawning is outside the sandbox",
+    "socket": "network I/O is outside the sandbox",
+    "pathlib": "filesystem I/O is outside the sandbox",
+    "shutil": "filesystem I/O is outside the sandbox",
+    "tempfile": "filesystem I/O is outside the sandbox",
+}
+"""Module roots whose *calls* inside a hook body violate the sandbox."""
+
+_POLICY_BANNED_BUILTINS: dict[str, str] = {
+    "open": "file I/O is outside the sandbox",
+    "input": "console input is nondeterministic",
+    "eval": "dynamic code execution is outside the sandbox",
+    "exec": "dynamic code execution is outside the sandbox",
+}
+
+_VIEW_MUTATION_CALLS = frozenset({"setattr", "delattr"})
+
+
+def _hook_view_param(node: ast.AST) -> Optional[str]:
+    """The PolicyView parameter name of a hook method (by convention
+    ``view``; falls back to the last positional parameter)."""
+    args = getattr(node, "args", None)
+    if args is None:
+        return None
+    names = [
+        a.arg
+        for a in list(args.posonlyargs) + list(args.args)
+        if a.arg not in ("self", "cls")
+    ]
+    if "view" in names:
+        return "view"
+    return names[-1] if names else None
+
+
+def _rooted_at(node: ast.AST, name: str) -> bool:
+    """Whether an Attribute/Subscript chain bottoms out at Name(name)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _check_hook_body(
+    ctx: ModuleContext, hook: ast.AST, findings: list[Finding]
+) -> None:
+    view = _hook_view_param(hook)
+    for node in ast.walk(hook):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root not in POLICY_IMPORT_ALLOWLIST:
+                    findings.append(
+                        _finding(
+                            ctx, node, "REP013",
+                            f"policy hook imports {alias.name!r}: only "
+                            + ", ".join(sorted(POLICY_IMPORT_ALLOWLIST))
+                            + " may be imported inside a hook body",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            root = (node.module or "").split(".")[0]
+            if root and root not in POLICY_IMPORT_ALLOWLIST:
+                findings.append(
+                    _finding(
+                        ctx, node, "REP013",
+                        f"policy hook imports from {node.module!r}: only "
+                        + ", ".join(sorted(POLICY_IMPORT_ALLOWLIST))
+                        + " may be imported inside a hook body",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            qual = ctx.qualify(node.func)
+            if qual is not None:
+                root = qual.split(".")[0]
+                reason = _POLICY_BANNED_ROOTS.get(root)
+                if reason is None and qual.startswith("numpy.random."):
+                    reason = (
+                        "ambient RNG breaks bit-for-bit reproducibility"
+                    )
+                if reason is None:
+                    reason = _POLICY_BANNED_BUILTINS.get(qual)
+                if reason is not None:
+                    findings.append(
+                        _finding(
+                            ctx, node, "REP013",
+                            f"policy hook calls {qual}(): {reason}; "
+                            "hooks must be pure functions of their "
+                            "FaultContext/candidates and PolicyView",
+                        )
+                    )
+                    continue
+            if (
+                view is not None
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _VIEW_MUTATION_CALLS
+                and node.args
+                and _rooted_at(node.args[0], view)
+            ):
+                findings.append(
+                    _finding(
+                        ctx, node, "REP013",
+                        f"policy hook mutates the PolicyView via "
+                        f"{node.func.id}(); the view is read-only — "
+                        "hooks act through their return values",
+                    )
+                )
+        elif view is not None and isinstance(
+            node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)
+        ):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for target in targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and _rooted_at(target, view):
+                    findings.append(
+                        _finding(
+                            ctx, node, "REP013",
+                            "policy hook writes through the PolicyView; "
+                            "the view is read-only — hooks act through "
+                            "their return values",
+                        )
+                    )
+
+
+def check_rep013(ctx: ModuleContext) -> list[Finding]:
+    """Flag sandbox violations inside PagePolicy hook bodies.
+
+    Policy callbacks (``on_fault`` / ``on_khugepaged_scan`` /
+    ``on_demote_scan``) must be deterministic, side-effect-free
+    functions of their inputs (docs/policies.md): no wall clocks, no
+    ambient RNG, no writes through the read-only PolicyView, no
+    filesystem/process/network escape hatches, and no imports beyond a
+    numeric/stdlib-container allowlist.  The PolicyView's
+    ``__setattr__`` guard is this rule's runtime twin.
+    """
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in HOOK_METHODS
+        ):
+            _check_hook_body(ctx, node, findings)
+    return findings
+
+
 PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP001": check_rep001,
     "REP002": check_rep002,
@@ -1118,5 +1302,6 @@ PER_FILE_RULES: dict[str, RuleFunc] = {
     "REP007": check_rep007,
     "REP008": check_rep008,
     "REP012": check_rep012,
+    "REP013": check_rep013,
 }
 """Per-file rule registry; REP004 is project-wide (see ``project.py``)."""

@@ -27,6 +27,10 @@ The surface groups into:
 - **Observability** (docs/observability.md): :class:`Tracer`, trace
   exporters and the event schema.
 - **Core contribution**: the page-size advisor and placement plans.
+- **Policy API** (docs/policies.md): the :class:`PagePolicy` hook
+  protocol, the read-only :class:`PolicyView`, the zoo registry
+  (:func:`register_policy` / :func:`get_policy`) and the
+  :func:`run_tournament` leaderboard harness.
 """
 
 from .config import (
@@ -101,6 +105,22 @@ from .graph.io import load_edge_list, save_edge_list
 from .graph.reorder import ORDERINGS
 from .machine import Machine, RunMetrics
 from .mem import ThpMode, ThpPolicy
+from .policy import (
+    BasePagePolicy,
+    DemoteCandidate,
+    FaultContext,
+    PageDecision,
+    PagePolicy,
+    PolicyView,
+    PromotionCandidate,
+)
+from .policy.registry import (
+    get_policy,
+    register_policy,
+    registered_policies,
+)
+from .policy.tournament import run_tournament
+from .policy.zoo import AdvisorHook, AutotunerHook
 from .obs import (
     EVENT_NAMES,
     EVENT_SCHEMA,
@@ -133,18 +153,23 @@ from .units import format_bytes
 from .workloads import Bfs, PageRank, Sssp, create_workload
 
 __all__ = [
+    "AdvisorHook",
     "AdvisorReport",
+    "AutotunerHook",
+    "BasePagePolicy",
     "BatchTranslationHierarchy",
     "Bfs",
     "ChaosPlan",
     "CsrGraph",
     "DATASETS",
+    "DemoteCandidate",
     "DistConfig",
     "DistCoordinator",
     "EVENT_NAMES",
     "EVENT_SCHEMA",
     "ExperimentRunner",
     "FIGURES",
+    "FaultContext",
     "FaultPlan",
     "FigureResult",
     "Machine",
@@ -153,10 +178,14 @@ __all__ = [
     "ORDERINGS",
     "POLICIES",
     "PROFILES",
+    "PageDecision",
+    "PagePolicy",
     "PageRank",
     "PageSizeAdvisor",
     "PlacementPlan",
     "Policy",
+    "PolicyView",
+    "PromotionCandidate",
     "ReproError",
     "RunConfig",
     "RunJournal",
@@ -198,6 +227,7 @@ __all__ = [
     "format_table",
     "fragmented",
     "fresh",
+    "get_policy",
     "get_profile",
     "headline_summary",
     "hotness_manager_policy",
@@ -212,9 +242,12 @@ __all__ = [
     "power_law_graph",
     "read_trace_jsonl",
     "recommended_reorder",
+    "register_policy",
+    "registered_policies",
     "rmat_graph",
     "run_cells",
     "run_scenarios",
+    "run_tournament",
     "save_edge_list",
     "scaled",
     "scaled_1m",

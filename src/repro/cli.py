@@ -17,6 +17,9 @@ Subcommands:
     ``app_output``/``results.txt`` numbers).
 ``figure``
     Regenerate one paper figure's rows (the ``thp.sh``-style drivers).
+``tournament``
+    Sweep the policy zoo across scenario axes and rank a leaderboard
+    (see docs/policies.md).
 ``datasets``
     List the registry with Table 2 statistics.
 ``advise``
@@ -202,7 +205,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--policy",
         default="base4k",
-        help="policy name (see 'repro policies') or selective:<s>[:<reorder>]",
+        help="policy name (see 'repro policies'), "
+        "selective:<s>[:<reorder>], or a zoo spec NAME[:k=v,...] "
+        "(e.g. 'ingens:threshold=0.8', 'advisor')",
     )
     run.add_argument(
         "--scenario",
@@ -224,6 +229,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma list (default: figure's own)")
     figure.add_argument("--datasets", default=None,
                         help="comma list (default: all Table 2 inputs)")
+    figure.add_argument(
+        "--policy", action="append", default=None, metavar="SPEC",
+        help="(tournament only) zoo policy spec to enter; repeat or "
+        "comma-separate (default: the stock lineup)",
+    )
     figure.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"
     )
@@ -276,6 +286,53 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(figure)
     _add_runstate_args(figure)
     _add_trace_arg(figure)
+
+    tournament = sub.add_parser(
+        "tournament",
+        help="sweep the policy zoo across scenarios and rank a "
+        "leaderboard (see docs/policies.md)",
+    )
+    tournament.add_argument(
+        "--policies", default=None, metavar="SPECS",
+        help="comma list of zoo policy specs NAME[:k=v,...] "
+        "(default: the stock lineup; see 'repro policies')",
+    )
+    tournament.add_argument(
+        "--scenarios", default=None, metavar="SPECS",
+        help="comma list of scenario specs "
+        "(default: fresh,fragmented:0.9,constrained:0.5)",
+    )
+    tournament.add_argument(
+        "--workloads", default=None,
+        help="comma list (default: bfs)",
+    )
+    tournament.add_argument(
+        "--datasets", default=None,
+        help="comma list (default: all Table 2 inputs)",
+    )
+    tournament.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    tournament.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also save tournament.txt and .json under DIR "
+        "(atomic write: never leaves torn files)",
+    )
+    tournament.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "1")),
+        metavar="N",
+        help="process fan-out for the sweep: 1 = serial (default), "
+        "N > 1 = work-stealing pool, 0 = one per CPU; leaderboard and "
+        "journal bytes are identical to a serial run",
+    )
+    _add_common_machine_args(tournament)
+    _add_resilience_args(tournament)
+    _add_runstate_args(tournament)
+    _add_trace_arg(tournament)
 
     trace = sub.add_parser(
         "trace", help="inspect or convert a recorded trace"
@@ -482,7 +539,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="run the repo's static analysis (REP001-REP011); "
+        help="run the repo's static analysis (REP001-REP013); "
         "arguments after -- pass through to python -m repro.analysis",
     )
     analyze.add_argument(
@@ -513,10 +570,10 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_policy(spec: str):
+def _parse_policy(spec: str, dataset=None, config=None):
     from .experiments.parse import parse_policy
 
-    return parse_policy(spec)
+    return parse_policy(spec, dataset=dataset, config=config)
 
 
 def _parse_scenario(spec: str):
@@ -529,7 +586,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments.harness import CellFailure
 
     runner = _make_runner(args)
-    policy = _parse_policy(args.policy)
+    policy = _parse_policy(
+        args.policy, dataset=args.dataset, config=runner.config
+    )
     scenario = _parse_scenario(args.scenario)
     try:
         result = runner.run_cell(args.workload, args.dataset, policy, scenario)
@@ -552,13 +611,24 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from .experiments.figures import FIGURES
 
     if args.figure_id == "all":
-        selected = list(FIGURES.values())
+        # 'all' regenerates the paper figures; the zoo leaderboard is
+        # its own sweep (also available as 'repro tournament').
+        selected = [
+            function
+            for figure_id, function in FIGURES.items()
+            if figure_id != "tournament"
+        ]
     elif args.figure_id in FIGURES:
         selected = [FIGURES[args.figure_id]]
     else:
         raise ReproError(
             f"unknown figure {args.figure_id!r}; known: all, "
             + ", ".join(sorted(FIGURES))
+        )
+    if getattr(args, "policy", None) and args.figure_id != "tournament":
+        raise ReproError(
+            "figure --policy only applies to the 'tournament' figure; "
+            "other figures pin their own policy axes"
         )
     runner = _make_runner(args)
     if getattr(args, "chaos", None):
@@ -596,6 +666,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         kwargs["workloads"] = tuple(args.workloads.split(","))
     if args.datasets:
         kwargs["datasets"] = tuple(args.datasets.split(","))
+    if getattr(args, "policy", None):
+        kwargs["policies"] = tuple(
+            spec
+            for chunk in args.policy
+            for spec in chunk.split(",")
+            if spec
+        )
     try:
         for function in selected:
             result = function(runner, **kwargs)
@@ -610,6 +687,42 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if coordinator is not None:
             coordinator.drain()
             coordinator.stop()
+        _close_runner(runner)
+    if runner.failures:
+        print(
+            f"{len(runner.failures)} cell(s) failed (graceful degradation):",
+            file=sys.stderr,
+        )
+        for failure in runner.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from .policy.tournament import run_tournament
+
+    runner = _make_runner(args)
+    kwargs = {}
+    if args.policies:
+        kwargs["policies"] = tuple(
+            spec for spec in args.policies.split(",") if spec
+        )
+    if args.scenarios:
+        kwargs["scenarios"] = tuple(
+            spec for spec in args.scenarios.split(",") if spec
+        )
+    if args.workloads:
+        kwargs["workloads"] = tuple(args.workloads.split(","))
+    if args.datasets:
+        kwargs["datasets"] = tuple(args.datasets.split(","))
+    try:
+        result = run_tournament(runner, **kwargs)
+        print(result.to_json() if args.json else result.render())
+        if args.out:
+            txt_path, json_path = result.save(args.out)
+            print(f"saved {txt_path} and {json_path}", file=sys.stderr)
+        _write_trace(args, runner)
+    finally:
         _close_runner(runner)
     if runner.failures:
         print(
@@ -643,6 +756,7 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_policies(_args: argparse.Namespace) -> int:
     from .experiments.policies import POLICIES
+    from .policy.registry import registered_policies
 
     for name, policy in POLICIES.items():
         thp = policy.make_thp()
@@ -650,6 +764,12 @@ def _cmd_policies(_args: argparse.Namespace) -> int:
               f"order={policy.plan.order.value:14s} "
               f"reorder={policy.plan.reorder}")
     print("selective:<s>[:<reorder>]   madvise s% of the property array")
+    print()
+    print("policy zoo — spec NAME[:k=v,...] anywhere --policy is "
+          "accepted (docs/policies.md):")
+    for name, entry in registered_policies().items():
+        tag = "  [dataset-aware]" if entry.dataset_aware else ""
+        print(f"{name:16s} {entry.summary}{tag}")
     return 0
 
 
@@ -926,6 +1046,7 @@ COMMANDS = {
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
     "figure": _cmd_figure,
+    "tournament": _cmd_tournament,
     "trace": _cmd_trace,
     "datasets": _cmd_datasets,
     "policies": _cmd_policies,

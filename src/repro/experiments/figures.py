@@ -500,19 +500,10 @@ def page_cache_interference(
     and huge page creation suffers during initialization, even with the
     optimized allocation order.
     """
-    from ..mem.thp import ThpMode, ThpPolicy
+    from ..policy.registry import get_policy as zoo_policy
     from .scenarios import page_cache_interference as local_cache
 
-    def defer_reclaim() -> ThpPolicy:
-        return ThpPolicy(
-            mode=ThpMode.ALWAYS,
-            fault_reclaim=False,
-            khugepaged_compact=False,
-        )
-
-    thp_defer = Policy(
-        "thp-opt-defer", defer_reclaim, POLICIES["thp-opt"].plan
-    )
+    thp_defer = zoo_policy("thp-opt-defer")
     result = FigureResult(
         "fig-pagecache",
         "Single-use page cache interference with THP allocation",
@@ -865,24 +856,14 @@ def ablation_promotion_path(
     diverge: the no-compaction/no-daemon configuration can only use
     pristine regions and loses the property array.
     """
-    from ..mem.thp import ThpMode, ThpPolicy
+    from ..policy.registry import get_policy as zoo_policy
 
-    def khugepaged_only() -> ThpPolicy:
-        return ThpPolicy(mode=ThpMode.ALWAYS, fault_alloc=False)
-
-    def no_compact_no_daemon() -> ThpPolicy:
-        return ThpPolicy(
-            mode=ThpMode.ALWAYS,
-            fault_compact=False,
-            fault_reclaim=False,
-            khugepaged_enabled=False,
-        )
-
-    plan = POLICIES["thp-opt"].plan  # property-first isolates the effect
+    # All three run the property-first plan (registered zoo entries),
+    # so the allocation path is the only variable.
     variants = [
-        ("fault+compact", Policy("thp-direct", ThpPolicy.always, plan)),
-        ("khugepaged-only", Policy("thp-khugepaged", khugepaged_only, plan)),
-        ("no-compact", Policy("thp-defer", no_compact_no_daemon, plan)),
+        ("fault+compact", zoo_policy("thp-direct")),
+        ("khugepaged-only", zoo_policy("thp-khugepaged")),
+        ("no-compact", zoo_policy("thp-defer")),
     ]
     result = FigureResult(
         "abl-promotion",
@@ -935,6 +916,18 @@ def ablation_reorder(
     return result
 
 
+def _run_tournament_figure(
+    runner: ExperimentRunner, **kwargs
+) -> FigureResult:
+    """``repro figure tournament``: the policy-zoo leaderboard (see
+    :func:`repro.policy.tournament.run_tournament`).  Accepts
+    ``policies=`` in addition to the standard ``workloads=`` /
+    ``datasets=`` keywords."""
+    from ..policy.tournament import run_tournament
+
+    return run_tournament(runner, **kwargs)
+
+
 FIGURES: dict[str, Callable] = {
     "fig01": fig01_thp_speedup,
     "fig02": fig02_translation_overhead,
@@ -954,6 +947,7 @@ FIGURES: dict[str, Callable] = {
     "abl-census": ablation_alloc_order_census,
     "abl-promotion": ablation_promotion_path,
     "abl-reorder": ablation_reorder,
+    "tournament": _run_tournament_figure,
 }
 """Figure registry: CLI ``repro figure <id>`` ids to entry points (the
 stable surface re-exported by :mod:`repro.api`)."""

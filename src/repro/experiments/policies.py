@@ -19,18 +19,14 @@ every policy the paper evaluates:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..core.autotuner import OnlineAdvisor
 from ..core.plan import PlacementPlan
 from ..core.selective import selective_property_plan
-from ..mem.heuristics import (
-    HotnessManager,
-    HugePageManager,
-    UtilizationManager,
-)
-from ..mem.thp import ThpMode, ThpPolicy
+from ..mem.heuristics import HugePageManager
+from ..mem.thp import ThpPolicy
 from ..workloads.base import (
     ARRAY_EDGE,
     ARRAY_PROPERTY,
@@ -142,57 +138,70 @@ def hugetlb_policy(fraction: float = 1.0, reorder: str = "dbg") -> Policy:
     )
 
 
+def _zoo_builder(name: str):
+    """The registered zoo builder for ``name`` (shims delegate here so
+    the registry is the single construction path)."""
+    from ..policy.registry import registered_policies
+
+    return registered_policies()[name].builder
+
+
 def utilization_manager_policy(
     threshold: float = 0.9, promotions_per_pass: int = 8
 ) -> Policy:
-    """Ingens-style kernel heuristic: THP off at fault time, run-time
-    promotion of well-utilized regions in address order."""
-    return Policy(
-        name=f"ingens(u={threshold:.0%})",
-        thp_factory=lambda: ThpPolicy(
-            mode=ThpMode.ALWAYS, fault_alloc=False,
-            khugepaged_enabled=False,
-        ),
-        plan=PlacementPlan(label=f"ingens(u={threshold:.0%})"),
-        manager_factory=lambda: UtilizationManager(
-            utilization_threshold=threshold,
-            promotions_per_pass=promotions_per_pass,
-        ),
+    """Deprecated shim: build the Ingens-style policy via the registry.
+
+    .. deprecated::
+        Use ``repro.policy.registry.get_policy("ingens[:threshold=...,
+        per_pass=...]")``.  Kept so historical call sites keep working;
+        materializes the identical policy (same name, same journal
+        fingerprint)."""
+    warnings.warn(
+        "utilization_manager_policy() is deprecated; use "
+        "repro.policy.registry.get_policy('ingens:threshold=...,"
+        "per_pass=...') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _zoo_builder("ingens")(
+        threshold=threshold, per_pass=promotions_per_pass
     )
 
 
 def hotness_manager_policy(promotions_per_pass: int = 8) -> Policy:
-    """HawkEye-style kernel heuristic: run-time promotion of the
-    hottest regions first (exact access counts — a best-case signal)."""
-    return Policy(
-        name="hawkeye",
-        thp_factory=lambda: ThpPolicy(
-            mode=ThpMode.ALWAYS, fault_alloc=False,
-            khugepaged_enabled=False,
-        ),
-        plan=PlacementPlan(label="hawkeye"),
-        manager_factory=lambda: HotnessManager(
-            promotions_per_pass=promotions_per_pass
-        ),
+    """Deprecated shim: build the HawkEye-style policy via the registry.
+
+    .. deprecated::
+        Use ``repro.policy.registry.get_policy("hawkeye[:per_pass=...]"
+        )``.  Materializes the identical policy."""
+    warnings.warn(
+        "hotness_manager_policy() is deprecated; use "
+        "repro.policy.registry.get_policy('hawkeye:per_pass=...') "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _zoo_builder("hawkeye")(per_pass=promotions_per_pass)
 
 
 def autotuner_policy(
     coverage_target: float = 0.85, max_chunks: Optional[int] = None
 ) -> Policy:
-    """The paper's future-work runtime: profile one iteration, then
-    promote the hot prefix of the per-vertex arrays (application
-    knowledge + runtime tracking, no preprocessing)."""
-    return Policy(
-        name=f"autotuner(c={coverage_target:.0%})",
-        thp_factory=lambda: ThpPolicy(
-            mode=ThpMode.ALWAYS, fault_alloc=False,
-            khugepaged_enabled=False,
-        ),
-        plan=PlacementPlan(label=f"autotuner(c={coverage_target:.0%})"),
-        manager_factory=lambda: OnlineAdvisor(
-            coverage_target=coverage_target, max_chunks=max_chunks
-        ),
+    """Deprecated shim: build the online-autotuner policy via the
+    registry.
+
+    .. deprecated::
+        Use ``repro.policy.registry.get_policy("autotuner[:coverage=...,
+        max_chunks=...]")``.  Materializes the identical policy."""
+    warnings.warn(
+        "autotuner_policy() is deprecated; use "
+        "repro.policy.registry.get_policy('autotuner:coverage=...,"
+        "max_chunks=...') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _zoo_builder("autotuner")(
+        coverage=coverage_target, max_chunks=max_chunks
     )
 
 

@@ -36,6 +36,14 @@ from ..faults.sites import FaultSite
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids cycles)
     from ..analysis.sanitizer import MemSanitizer
     from ..obs.tracer import Tracer
+    from ..policy.hooks import (
+        DemoteCandidate,
+        FaultContext,
+        PageDecision,
+        PagePolicy,
+        PromotionCandidate,
+    )
+    from ..policy.view import PolicyView
     from .vmm import Vma
 
 
@@ -79,6 +87,13 @@ class ThpPolicy:
             zero-cost-when-off guard discipline of
             :mod:`repro.obs`.  Excluded from equality like the other
             attachments.
+        hooks: an attached :class:`~repro.policy.hooks.PagePolicy`
+            overriding the boolean knobs at every decision point
+            (docs/policies.md).  ``None`` (the default) dispatches to
+            the built-in hook derived from the knobs above — the same
+            code path, pinned byte-identical to the historical
+            hardwired logic.  Excluded from equality like the other
+            attachments.
     """
 
     mode: ThpMode = ThpMode.NEVER
@@ -96,6 +111,12 @@ class ThpPolicy:
     )
     tracer: Optional["Tracer"] = field(
         default=None, repr=False, compare=False
+    )
+    hooks: Optional["PagePolicy"] = field(
+        default=None, repr=False, compare=False
+    )
+    _builtin: Optional["PagePolicy"] = field(
+        default=None, repr=False, compare=False, init=False
     )
 
     @staticmethod
@@ -120,6 +141,48 @@ class ThpPolicy:
         if self.mode is ThpMode.MADVISE:
             return advised
         return False
+
+    # ------------------------------------------------------------------
+    # Policy-hook dispatch (docs/policies.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_hooks(self) -> "PagePolicy":
+        """The hook receiving every decision: the attached ``hooks``
+        policy, or the lazily built adapter over this policy's knobs."""
+        if self.hooks is not None:
+            return self.hooks
+        if self._builtin is None:
+            from ..policy.builtin import BuiltinThpHook
+
+            self._builtin = BuiltinThpHook(self)
+        return self._builtin
+
+    def fault_decision(
+        self, ctx: "FaultContext", view: "PolicyView"
+    ) -> "PageDecision":
+        """Ask the hook how to back a first-touched chunk."""
+        return self.effective_hooks.on_fault(ctx, view)
+
+    def khugepaged_selection(
+        self,
+        candidates: tuple["PromotionCandidate", ...],
+        view: "PolicyView",
+    ) -> tuple["PromotionCandidate", ...]:
+        """Ask the hook which eligible chunks khugepaged collapses."""
+        return tuple(
+            self.effective_hooks.on_khugepaged_scan(candidates, view)
+        )
+
+    def demote_selection(
+        self,
+        candidates: tuple["DemoteCandidate", ...],
+        view: "PolicyView",
+    ) -> tuple["DemoteCandidate", ...]:
+        """Ask the hook which huge chunks the bloat scan splits."""
+        return tuple(
+            self.effective_hooks.on_demote_scan(candidates, view)
+        )
 
     # ------------------------------------------------------------------
     # Fault-injection / sanitizer gates (no-ops without attachments)

@@ -23,6 +23,8 @@ import numpy as np
 from ..config import MachineConfig
 from ..errors import AddressError, AllocationError, OutOfMemoryError
 from ..faults.sites import FaultSite
+from ..policy.hooks import DemoteCandidate, FaultContext, PromotionCandidate
+from ..policy.view import PolicyView
 from .physical import NodeMemory
 from .thp import ThpPolicy
 
@@ -152,6 +154,9 @@ class VirtualMemoryManager:
         self.config = config
         self.sanitizer = node.sanitizer
         self.tracer = node.tracer
+        # Read-only window the policy hooks observe the machine through
+        # (docs/policies.md); shared by every decision point below.
+        self.policy_view = PolicyView(self)
         self.owner_id = node.register_owner(self)
         self.vmas: list[Vma] = []
         self._next_vma_id = 0
@@ -264,17 +269,31 @@ class VirtualMemoryManager:
             return
         policy = self.policy
         ledger = self.node.ledger
-        eligible = (
-            policy.fault_alloc
-            and vma.chunk_is_full(chunk)
-            and policy.wants_huge(bool(vma.advised[chunk]))
-            and not already.any()
+        decision = policy.fault_decision(
+            FaultContext(
+                vma_name=vma.name,
+                chunk=chunk,
+                advised=bool(vma.advised[chunk]),
+                chunk_full=vma.chunk_is_full(chunk),
+                partially_mapped=bool(already.any()),
+            ),
+            self.policy_view,
         )
-        if eligible:
+        if policy.hooks is not None:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "policy.fault",
+                    policy=policy.hooks.name,
+                    vma=vma.name,
+                    chunk=chunk,
+                    huge=int(decision.huge),
+                )
+        if decision.huge and vma.chunk_is_full(chunk) and not already.any():
             region = self.node.alloc_huge_region(
                 self.owner_id,
-                allow_compaction=policy.fault_compact,
-                allow_reclaim=policy.fault_reclaim,
+                allow_compaction=decision.allow_compaction,
+                allow_reclaim=decision.allow_reclaim,
             )
             if region is not None:
                 self._install_huge(vma, chunk, region)
@@ -430,22 +449,73 @@ class VirtualMemoryManager:
         if not policy.khugepaged_enabled:
             return 0
         policy.check_khugepaged()
-        promoted = 0
-        for vma in list(self.vmas):
+        # Collect every collapse-eligible chunk in the daemon's address-
+        # order walk, then let the policy hook pick.  Promotions cannot
+        # change a *different* chunk's eligibility (compaction only
+        # renumbers frames, residency is preserved), so the up-front
+        # collection selects exactly the chunks the historical
+        # interleaved walk promoted.
+        vmas = list(self.vmas)
+        candidates: list[PromotionCandidate] = []
+        raw_index = 0
+        for vma_index, vma in enumerate(vmas):
             for chunk in range(vma.nchunks):
-                if max_promotions is not None and promoted >= max_promotions:
-                    return promoted
-                if vma.huge_region[chunk] >= 0:
-                    continue
-                if not vma.chunk_is_full(chunk):
-                    continue
-                if not policy.wants_huge(bool(vma.advised[chunk])):
-                    continue
-                pages = vma.chunk_pages(chunk)
-                if not (vma.frame[pages] >= 0).all():
-                    continue  # not fully resident
-                if self.promote_chunk(vma, chunk):
-                    promoted += 1
+                eligible = (
+                    vma.huge_region[chunk] < 0
+                    and vma.chunk_is_full(chunk)
+                    and bool((vma.frame[vma.chunk_pages(chunk)] >= 0).all())
+                )
+                if eligible:
+                    candidates.append(
+                        PromotionCandidate(
+                            vma_index=vma_index,
+                            vma_name=vma.name,
+                            chunk=chunk,
+                            advised=bool(vma.advised[chunk]),
+                            raw_index=raw_index,
+                        )
+                    )
+                raw_index += 1
+        total_raw = raw_index
+        selected = policy.khugepaged_selection(
+            tuple(candidates), self.policy_view
+        )
+        if policy.hooks is not None:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "policy.khugepaged",
+                    policy=policy.hooks.name,
+                    candidates=len(candidates),
+                    selected=len(selected),
+                )
+        promoted = 0
+        last_raw = -1
+        for candidate in selected:
+            if max_promotions is not None and promoted >= max_promotions:
+                break
+            vma = vmas[candidate.vma_index]
+            chunk = candidate.chunk
+            # Re-validate: a no-op for the built-in hook (candidates are
+            # eligible by construction and stay so), a guard against
+            # custom hooks returning stale or fabricated picks.
+            if vma.huge_region[chunk] >= 0 or not vma.chunk_is_full(chunk):
+                continue
+            if not (vma.frame[vma.chunk_pages(chunk)] >= 0).all():
+                continue
+            if self.promote_chunk(vma, chunk):
+                promoted += 1
+                last_raw = candidate.raw_index
+        if (
+            max_promotions is not None
+            and promoted >= max_promotions
+            and last_raw < total_raw - 1
+        ):
+            # Historical cap semantics: the interleaved walk returned
+            # mid-scan once the cap was reached (skipping the trailing
+            # verify/emit) unless the capping promotion landed on the
+            # very last chunk of the walk.
+            return promoted
         if self.sanitizer is not None:
             self.sanitizer.verify_vmm(self)
         tracer = self.tracer
@@ -557,13 +627,35 @@ class VirtualMemoryManager:
         mitigation of prior work (HawkEye-style) for the ablation benches.
         Returns the number of demotions.
         """
+        policy = self.policy
+        candidates = tuple(
+            DemoteCandidate(
+                vma_name=vma.name,
+                chunk=chunk,
+                utilization=float(utilization[chunk]),
+                threshold=threshold,
+            )
+            for chunk in range(vma.nchunks)
+            if vma.huge_region[chunk] >= 0 and chunk not in vma.pool_regions
+        )
+        selected = policy.demote_selection(candidates, self.policy_view)
+        if policy.hooks is not None:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "policy.demote",
+                    policy=policy.hooks.name,
+                    candidates=len(candidates),
+                    selected=len(selected),
+                )
         demoted = 0
-        for chunk in range(vma.nchunks):
+        for candidate in selected:
+            chunk = candidate.chunk
+            # Re-validate (no-op for the built-in threshold hook).
             if vma.huge_region[chunk] < 0 or chunk in vma.pool_regions:
                 continue
-            if float(utilization[chunk]) < threshold:
-                self.demote_chunk(vma, chunk)
-                demoted += 1
+            self.demote_chunk(vma, chunk)
+            demoted += 1
         return demoted
 
     # ------------------------------------------------------------------

@@ -20,6 +20,9 @@ by the subsystem that emits them:
 - ``phase.*`` — the machine's run phases (load / init / compute),
 - ``thp.*`` — the THP engine: fault-time grant/deny, khugepaged,
   promotion, demotion,
+- ``policy.*`` — decisions made by an attached :mod:`repro.policy`
+  hook (only emitted when a custom ``PagePolicy`` is installed; the
+  built-in mode paths stay silent so legacy traces are unchanged),
 - ``mem.*`` — the physical allocator: compaction and reclaim,
 - ``swap.*`` — the swap device,
 - ``cache.*`` — the page cache,
@@ -62,6 +65,13 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
     "thp.khugepaged": {"promoted": "count"},
     "thp.promotion": {"vma": "name", "chunk": "index", "frames": "frames"},
     "thp.demotion": {"vma": "name", "chunk": "index"},
+    # -- policy hooks (custom PagePolicy attached; repro.policy) ------
+    "policy.fault": {"policy": "name", "vma": "name", "chunk": "index",
+                     "huge": "count"},
+    "policy.khugepaged": {"policy": "name", "candidates": "count",
+                          "selected": "count"},
+    "policy.demote": {"policy": "name", "candidates": "count",
+                      "selected": "count"},
     # -- physical allocator -------------------------------------------
     "mem.compaction": {"region": "index", "migrated_frames": "frames"},
     "mem.reclaim": {"frames": "frames"},

@@ -512,6 +512,95 @@ class TestRep012:
         assert rules_of(src) == []
 
 
+# ----------------------------------------------------------------------
+# REP013 — policy hook sandbox
+# ----------------------------------------------------------------------
+
+
+def rep013_of(source: str, relpath: str = "mod.py") -> list[str]:
+    return [f.rule for f in lint_text(source, relpath, rules=["REP013"])]
+
+
+def _hook(body: str) -> str:
+    """A minimal PagePolicy class with ``body`` inside on_fault."""
+    lines = "".join(f"        {line}\n" for line in body.splitlines())
+    return (
+        "import time\n"
+        "import random\n"
+        "import numpy as np\n"
+        "class Hook:\n"
+        "    name = 'fixture'\n"
+        "    def on_fault(self, ctx, view):\n"
+        f"{lines}"
+        "        return None\n"
+    )
+
+
+class TestRep013:
+    def test_wall_clock_in_hook(self):
+        assert rep013_of(_hook("t = time.time()")) == ["REP013"]
+
+    def test_ambient_numpy_rng_in_hook(self):
+        assert rep013_of(_hook("r = np.random.random()")) == ["REP013"]
+
+    def test_seeded_rng_module_still_banned(self):
+        # Even a seeded RNG makes the decision depend on call order,
+        # not on the hook's inputs.
+        assert rep013_of(_hook("r = random.Random(7).random()")) == [
+            "REP013"
+        ]
+
+    def test_view_attribute_write(self):
+        assert rep013_of(_hook("view.cached = 1")) == ["REP013"]
+
+    def test_view_nested_write(self):
+        assert rep013_of(_hook("view.vmm.node.frames[0] = 1")) == [
+            "REP013"
+        ]
+
+    def test_view_setattr(self):
+        assert rep013_of(_hook("setattr(view, 'x', 1)")) == ["REP013"]
+
+    def test_import_outside_allowlist(self):
+        assert rep013_of(_hook("import os")) == ["REP013"]
+
+    def test_import_from_outside_allowlist(self):
+        assert rep013_of(_hook("from pathlib import Path")) == ["REP013"]
+
+    def test_open_in_hook(self):
+        src = _hook("fh = open('/tmp/x')\nfh.close()")
+        assert rep013_of(src) == ["REP013"]
+
+    def test_compliant_hook_passes(self):
+        src = _hook(
+            "import math\n"
+            "score = math.log1p(view.free_frames)\n"
+            "names = view.vma_names()"
+        )
+        assert rep013_of(src) == []
+
+    def test_all_three_decision_points_are_covered(self):
+        src = (
+            "import time\n"
+            "class Hook:\n"
+            "    def on_khugepaged_scan(self, candidates, view):\n"
+            "        time.time()\n"
+            "        return ()\n"
+            "    def on_demote_scan(self, candidates, view):\n"
+            "        time.time()\n"
+            "        return ()\n"
+        )
+        assert rep013_of(src) == ["REP013", "REP013"]
+
+    def test_banned_calls_outside_hooks_stay_rep013_silent(self):
+        # Wall clocks elsewhere are REP001's business, not REP013's.
+        src = "import time\ndef helper():\n    return time.time()\n"
+        assert rep013_of(src) == []
+
+    def test_noqa(self):
+        assert rep013_of(_hook("t = time.time()  # repro: noqa REP013")) == []
+
+
 class TestBaseline:
     def _write_bad(self, tmp_path, extra=""):
         (tmp_path / "bad.py").write_text(
@@ -600,7 +689,7 @@ class TestDriver:
 
     def test_rule_catalogue_complete(self):
         assert ALL_RULES == tuple(sorted(RULE_SUMMARIES))
-        assert len(ALL_RULES) == 13
+        assert len(ALL_RULES) == 14
 
     def test_syntax_error_reported_not_fatal(self, tmp_path):
         (tmp_path / "bad.py").write_text("def broken(:\n")

@@ -1,5 +1,11 @@
 """Tests for the extension policies (managers, hugetlb, autotuner) in
-the experiment harness, plus the advisor-driven reorder helper."""
+the experiment harness, plus the advisor-driven reorder helper.
+
+Policy construction goes through the zoo registry
+(:mod:`repro.policy.registry`); the historical helper functions in
+:mod:`repro.experiments.policies` are deprecation shims pinned by
+``TestDeprecatedHelpers``.
+"""
 
 import pytest
 
@@ -14,8 +20,9 @@ from repro.experiments.policies import (
     selective_policy,
     utilization_manager_policy,
 )
-from repro.experiments.scenarios import fragmented, fresh
+from repro.experiments.scenarios import fresh
 from repro.mem.thp import ThpMode
+from repro.policy.registry import get_policy
 
 
 @pytest.fixture
@@ -28,9 +35,10 @@ def runner():
 class TestPolicyFactories:
     def test_manager_policies_carry_factories(self):
         for policy in (
-            utilization_manager_policy(),
-            hotness_manager_policy(),
-            autotuner_policy(),
+            get_policy("ingens"),
+            get_policy("hawkeye"),
+            get_policy("hawkeye-bits"),
+            get_policy("autotuner"),
         ):
             assert policy.manager_factory is not None
             a = policy.make_manager()
@@ -45,22 +53,58 @@ class TestPolicyFactories:
         assert POLICIES["thp"].make_manager() is None
 
     def test_hugetlb_policy_plan(self):
-        policy = hugetlb_policy(0.5, reorder="original")
+        policy = get_policy("hugetlb:fraction=0.5,reorder=original")
         assert policy.plan.hugetlb_fractions
         assert not policy.plan.advise_fractions
         assert policy.make_thp().mode is ThpMode.NEVER
 
 
+class TestDeprecatedHelpers:
+    """The pre-registry helper functions keep working, warn, and
+    materialize the identical policy (same name, hence the same journal
+    spec fingerprint)."""
+
+    @pytest.mark.parametrize(
+        "shim, kwargs, spec",
+        [
+            (utilization_manager_policy, {}, "ingens"),
+            (hotness_manager_policy, {}, "hawkeye"),
+            (autotuner_policy, {}, "autotuner"),
+            (
+                utilization_manager_policy,
+                {"threshold": 0.8, "promotions_per_pass": 4},
+                None,
+            ),
+        ],
+    )
+    def test_shims_warn_and_match_registry(self, shim, kwargs, spec):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            policy = shim(**kwargs)
+        assert policy.manager_factory is not None
+        if spec is not None:
+            via_registry = get_policy(spec)
+            assert policy.name == via_registry.name
+            assert policy.plan == via_registry.plan
+
+    def test_hugetlb_helper_still_plain(self):
+        # Not a boolean-knob shim: constructs the same policy the
+        # registry's `hugetlb` entry delegates to, without warning.
+        policy = hugetlb_policy(0.5, reorder="original")
+        assert policy.plan.hugetlb_fractions
+
+
 class TestHarnessIntegration:
     def test_manager_cell_runs(self, runner):
         metrics = runner.run_cell(
-            "bfs", "test-small", hotness_manager_policy(), fresh()
+            "bfs", "test-small", get_policy("hawkeye"), fresh()
         )
         assert metrics.policy_label == "hawkeye"
 
     def test_hugetlb_cell_reserves_and_runs(self, runner):
         metrics = runner.run_cell(
-            "bfs", "test-small", hugetlb_policy(1.0, reorder="original"),
+            "bfs",
+            "test-small",
+            get_policy("hugetlb:fraction=1.0,reorder=original"),
             fresh(),
         )
         # test-small's property array is smaller than one TINY huge
@@ -76,7 +120,7 @@ class TestHarnessIntegration:
 
     def test_manager_and_selective_cells_are_distinct(self, runner):
         a = runner.run_cell(
-            "bfs", "test-small", hotness_manager_policy(), fresh()
+            "bfs", "test-small", get_policy("hawkeye"), fresh()
         )
         b = runner.run_cell(
             "bfs", "test-small", selective_policy(0.5), fresh()

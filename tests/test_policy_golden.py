@@ -1,0 +1,87 @@
+"""Golden equivalence tests for the policy-hook API refactor.
+
+The built-in ``never`` / ``always`` / ``madvise`` policies are routed
+through the :mod:`repro.policy` hook interface, and the contract is that
+this changes *nothing*: figure bytes and journal bytes must be identical
+to what the pre-refactor tree (hardwired ``ThpPolicy`` booleans inside
+the VMM) produced.  The golden files under ``tests/golden/`` were
+captured from that pre-refactor tree; these tests re-run the same sweep
+— serial and with a 4-worker pool — and byte-compare.
+
+Re-capture (only meaningful when the built-in decision logic is
+*intended* to change) with::
+
+    REPRO_REFRESH_GOLDEN=1 python -m pytest tests/test_policy_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.config import scaled
+from repro.experiments.figures import fig01_thp_speedup
+from repro.experiments.harness import ExperimentRunner
+from repro.experiments.policies import POLICIES
+from repro.experiments.runconfig import RunConfig
+from repro.experiments.scenarios import constrained, fresh
+
+pytestmark = pytest.mark.slow  # SCALED profile (see conftest)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+FIG_TXT = GOLDEN / "policyapi_fig01.txt"
+FIG_JSON = GOLDEN / "policyapi_fig01.json"
+JOURNAL = GOLDEN / "policyapi_journal.jsonl"
+
+WORKLOAD = "bfs"
+DATASET = "kron-s"
+
+
+def _golden_sweep(tmp_path, workers: int):
+    """The pinned sweep: fig01 (never/always) plus two madvise cells,
+    journaled.  Returns (figure text, figure json, journal bytes)."""
+    journal_path = str(tmp_path / f"golden-{workers}.jsonl")
+    runner = ExperimentRunner(
+        config=scaled(),
+        run_config=RunConfig(workers=workers, journal=journal_path),
+        datasets=(DATASET,),
+        pagerank_iterations=1,
+    )
+    try:
+        figure = fig01_thp_speedup(runner, workloads=(WORKLOAD,))
+        # fig01 exercises ThpPolicy.never and .always; the madv-property
+        # cells cover the MADVISE mode through the same fault/khugepaged
+        # decision points.
+        runner.run_cells(
+            [
+                (WORKLOAD, DATASET, POLICIES["madv-property"], fresh()),
+                (WORKLOAD, DATASET, POLICIES["madv-property"], constrained(0.5)),
+            ]
+        )
+    finally:
+        runner.run_config.journal.close()
+    journal_bytes = pathlib.Path(journal_path).read_bytes()
+    assert not runner.failures, runner.failures
+    return figure.render(), figure.to_json(), journal_bytes
+
+
+def test_refresh_golden(tmp_path):
+    """Re-capture the golden files (opt-in via REPRO_REFRESH_GOLDEN)."""
+    if not os.environ.get("REPRO_REFRESH_GOLDEN"):
+        pytest.skip("set REPRO_REFRESH_GOLDEN=1 to re-capture goldens")
+    txt, js, journal = _golden_sweep(tmp_path, workers=1)
+    FIG_TXT.write_text(txt)
+    FIG_JSON.write_text(js)
+    JOURNAL.write_bytes(journal)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_builtin_policies_byte_identical_to_seed(tmp_path, workers):
+    """never/always/madvise via the hook path == pre-refactor bytes,
+    serial and parallel."""
+    txt, js, journal = _golden_sweep(tmp_path, workers)
+    assert txt == FIG_TXT.read_text()
+    assert js == FIG_JSON.read_text()
+    assert journal == JOURNAL.read_bytes()
